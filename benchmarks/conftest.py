@@ -1,0 +1,29 @@
+"""Benchmark-suite helpers.
+
+Every bench regenerates one paper artifact (table or figure): it runs the
+experiment through ``benchmark.pedantic`` (one round — these are
+system-level experiments, not microbenchmarks), prints the paper-style
+rows, and archives them under ``benchmarks/results/`` so EXPERIMENTS.md
+can cite the exact output.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture
+def emit(capsys):
+    """Return a function that prints and archives an artifact's rows."""
+
+    def _emit(name: str, text: str) -> None:
+        RESULTS_DIR.mkdir(exist_ok=True)
+        (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+        with capsys.disabled():
+            print(f"\n{text}")
+
+    return _emit

@@ -1,0 +1,19 @@
+"""Fig. 1 — equal-weight interference motivation experiment.
+
+Paper shape: with equal blkio weights, an interfered analytics' perceived
+bandwidth drops by roughly 75 % versus reading alone.
+"""
+
+from repro.experiments.fig01 import run_fig01
+
+
+def test_fig01(benchmark, emit):
+    res = benchmark.pedantic(
+        lambda: run_fig01(max_steps=40), rounds=1, iterations=1
+    )
+    emit("fig01", res.format_rows())
+    for app in ("xgc", "cfd", "genasis"):
+        # Uncontended steps reach near the disk's 200 MB/s peak ...
+        assert res.peak_bandwidth(app) > 150.0
+        # ... and interference collapses it by well over half.
+        assert res.interference_drop(app) > 0.5

@@ -1,0 +1,23 @@
+"""Fig. 2 — accuracy of the reduced representation vs decimation ratio.
+
+Paper shape: PSNR decreases as the decimation ratio grows, yet the
+relative error of the analysis outcome stays moderate (≤ ~25 % even at
+a 512× reduction).
+"""
+
+from repro.experiments.fig02 import run_fig02
+
+
+def test_fig02(benchmark, emit):
+    res = benchmark.pedantic(
+        lambda: run_fig02(ratios=(4, 16, 64, 256, 512)), rounds=1, iterations=1
+    )
+    emit("fig02", res.format_rows())
+    for app in ("xgc", "genasis", "cfd"):
+        rows = res.for_app(app)
+        psnrs = [r.psnr_db for r in rows]
+        assert psnrs == sorted(psnrs, reverse=True), f"{app}: PSNR not monotone"
+        # Outcome error stays bounded even at extreme decimation.
+        assert rows[-1].outcome_error <= 0.45
+        # Mild decimation is essentially harmless.
+        assert rows[0].outcome_error <= 0.05

@@ -1,0 +1,26 @@
+"""Fig. 5 — the weight function schematic.
+
+Paper shape: weight rises with augmentation cardinality and priority,
+and falls as the accuracy level tightens, for both error metrics.
+"""
+
+from repro.core.error_control import ErrorMetric
+from repro.experiments.fig05 import run_fig05
+
+
+def test_fig05_nrmse(benchmark, emit):
+    res = benchmark.pedantic(run_fig05, rounds=1, iterations=1)
+    emit("fig05_nrmse", res.format_rows())
+    assert list(res.weight_vs_cardinality) == sorted(res.weight_vs_cardinality)
+    assert list(res.weight_vs_priority) == sorted(res.weight_vs_priority)
+    assert list(res.weight_vs_accuracy) == sorted(res.weight_vs_accuracy, reverse=True)
+
+
+def test_fig05_psnr(benchmark, emit):
+    res = benchmark.pedantic(
+        lambda: run_fig05(metric=ErrorMetric.PSNR, accuracy_range=(30.0, 80.0)),
+        rounds=1,
+        iterations=1,
+    )
+    emit("fig05_psnr", res.format_rows())
+    assert list(res.weight_vs_accuracy) == sorted(res.weight_vs_accuracy, reverse=True)

@@ -1,0 +1,21 @@
+"""Fig. 7 — DFT-based interference estimation.
+
+Paper shape: training on the first 1800 s predicts the next 1800 s well,
+and prediction error grows as ``thresh`` rises (25 % → 50 % → 75 %)
+because more frequency components are discarded.
+"""
+
+from repro.experiments.fig07 import run_fig07
+
+
+def test_fig07(benchmark, emit):
+    res = benchmark.pedantic(
+        lambda: run_fig07(max_steps=60, seed=0), rounds=1, iterations=1
+    )
+    emit("fig07", res.format_rows())
+    maes = [r.mae_mb for r in res.rows]
+    kept = [r.kept_components for r in res.rows]
+    assert maes[0] <= maes[-1], "larger thresh must not improve the estimate"
+    assert kept == sorted(kept, reverse=True)
+    # The 25 % forecast must track the truth (positive correlation).
+    assert res.rows[0].corr > 0.3

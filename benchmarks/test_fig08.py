@@ -1,0 +1,26 @@
+"""Fig. 8 — cross-layer vs single-layer, no error control.
+
+Paper shape: no-adaptivity is worst in both mean and variation;
+single-layer adaptivity helps; the cross-layer approach is best.
+"""
+
+from repro.experiments.fig08 import run_fig08
+
+
+def test_fig08(benchmark, emit):
+    res = benchmark.pedantic(
+        lambda: run_fig08(replications=3, max_steps=60), rounds=1, iterations=1
+    )
+    emit("fig08", res.format_rows())
+    for app in ("xgc", "genasis", "cfd"):
+        none = res.cell(app, "no-adaptivity")
+        cross = res.cell(app, "cross-layer")
+        # Cross-layer clearly beats the static baseline in mean and spread.
+        assert cross.mean_io_time < none.mean_io_time * 0.8
+        assert cross.std_io_time < none.std_io_time
+        # And is at least competitive with the best single layer.
+        best_single = min(
+            res.cell(app, "storage-only").mean_io_time,
+            res.cell(app, "app-only").mean_io_time,
+        )
+        assert cross.mean_io_time <= best_single * 1.1

@@ -1,0 +1,23 @@
+"""Fig. 9 — interference mitigation with error control.
+
+Paper shape: with ε = 0.01 (NRMSE) / 30 dB (PSNR) enforced, the adaptive
+policies still beat no-adaptivity, though error control mandates a
+minimum augmentation so their advantage can shrink versus Fig. 8.
+"""
+
+from repro.experiments.fig09 import run_fig09
+
+
+def test_fig09(benchmark, emit):
+    res = benchmark.pedantic(
+        lambda: run_fig09(replications=2, max_steps=50), rounds=1, iterations=1
+    )
+    emit("fig09", res.format_rows())
+    for grid in (res.nrmse, res.psnr):
+        for app in ("xgc", "genasis", "cfd"):
+            none = grid.cell(app, "no-adaptivity").mean_io_time
+            cross = grid.cell(app, "cross-layer").mean_io_time
+            assert cross <= none, f"{app}: cross-layer must not lose to static"
+    # Error control keeps outcomes accurate for the adaptive policies.
+    for app in ("xgc", "genasis", "cfd"):
+        assert res.nrmse.cell(app, "cross-layer").mean_outcome_error < 0.05

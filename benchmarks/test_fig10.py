@@ -1,0 +1,46 @@
+"""Fig. 10 — analysis-outcome quality at a loose bound and extreme decimation.
+
+Paper shape: no augmentation (base representation only) has by far the
+worst outcome quality; the adaptive schemes' retrieved augmentations keep
+the outcome error small, with the cross-layer at least matching the
+single-layer because its storage support lets it fetch more.
+"""
+
+from repro.experiments.fig10 import run_fig10, run_fig10_genasis_quality
+
+
+def test_fig10(benchmark, emit):
+    res = benchmark.pedantic(
+        lambda: run_fig10(replications=2, max_steps=50), rounds=1, iterations=1
+    )
+    emit("fig10", res.format_rows())
+    # Where the base representation loses real information (xgc, genasis),
+    # augmentation must recover most of it.  cfd's field is smooth enough
+    # that even the base is near-accurate, so its gap sits in the noise.
+    for app in ("xgc", "genasis"):
+        no_aug = res.cell(app, "no-augmentation").outcome_error
+        cross = res.cell(app, "cross-layer").outcome_error
+        app_only = res.cell(app, "app-only").outcome_error
+        assert cross < no_aug * 0.5, f"{app}: augmentation must improve quality"
+        assert app_only < no_aug * 0.5
+    assert res.cell("cfd", "cross-layer").outcome_error < 0.1
+    # Averaged over apps, cross-layer quality is at least app-only's.
+    apps = ("xgc", "genasis", "cfd")
+    mean_cross = sum(res.cell(a, "cross-layer").outcome_error for a in apps)
+    mean_app = sum(res.cell(a, "app-only").outcome_error for a in apps)
+    assert mean_cross <= mean_app * 1.5
+
+
+def test_fig10_genasis_ssim_dice(benchmark, emit):
+    """GenASiS is scored with SSIM and Dice (Section IV-A): augmentation
+    must recover the rendering quality the base representation loses."""
+    res = benchmark.pedantic(
+        lambda: run_fig10_genasis_quality(max_steps=40), rounds=1, iterations=1
+    )
+    emit("fig10_genasis_quality", res.format_rows())
+    base = res.cell("no-augmentation")
+    for scheme in ("app-only", "cross-layer"):
+        row = res.cell(scheme)
+        assert row.ssim >= base.ssim
+        assert row.dice >= base.dice
+    assert res.cell("cross-layer").ssim > 0.9

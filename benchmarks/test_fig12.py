@@ -1,0 +1,22 @@
+"""Fig. 12 — sensitivity to the number of interfering containers.
+
+Paper shape: the cross-layer is rather insensitive to noise intensity,
+while single-layer storage adaptivity's mean and variance degrade with
+the number of interfering containers; the cross-layer's advantage widens
+at high intensity.
+"""
+
+from repro.experiments.fig12 import run_fig12
+
+
+def test_fig12(benchmark, emit):
+    res = benchmark.pedantic(
+        lambda: run_fig12(replications=3, max_steps=50), rounds=1, iterations=1
+    )
+    emit("fig12", res.format_rows())
+    # Storage-only degrades at least as much as cross-layer.
+    assert res.degradation("storage-only") >= res.degradation("cross-layer")
+    # At the highest intensity, cross-layer wins outright.
+    _, storage_means = res.series("storage-only")
+    _, cross_means = res.series("cross-layer")
+    assert cross_means[-1] <= storage_means[-1]

@@ -1,0 +1,24 @@
+"""Fig. 13 — weight-function ablation.
+
+Paper shape: the latency to elevate the accuracy to 0.01 improves as the
+weight function progressively incorporates cardinality, priority, and
+accuracy; single-layer storage adaptivity equals the cardinality-only
+variant (same mechanism), and the app-only baseline has no weight
+support at all.
+"""
+
+from repro.experiments.fig13 import run_fig13
+
+
+def test_fig13(benchmark, emit):
+    res = benchmark.pedantic(
+        lambda: run_fig13(replications=3, max_steps=60), rounds=1, iterations=1
+    )
+    emit("fig13", res.format_rows())
+    card = res.latency("cardinality")
+    card_p = res.latency("cardinality+priority")
+    full = res.latency("cardinality+priority+accuracy")
+    # Adding the priority term must help a p=10 application.
+    assert card_p <= card * 1.05
+    # The full function is at least as good as cardinality-only.
+    assert full <= card * 1.05

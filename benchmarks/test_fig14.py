@@ -1,0 +1,23 @@
+"""Fig. 14 — impact of priority and error bound.
+
+Paper shape: (a) higher priority lowers I/O time, sub-proportionally
+(2× weight ≠ 2× bandwidth); (b) tighter error bounds mandate more
+augmentation and raise I/O time.
+"""
+
+from repro.experiments.fig14 import run_fig14
+
+
+def test_fig14(benchmark, emit):
+    res = benchmark.pedantic(
+        lambda: run_fig14(replications=3, max_steps=60), rounds=1, iterations=1
+    )
+    emit("fig14", res.format_rows())
+    ps, p_means = res.series("priority")
+    assert ps == [1.0, 5.0, 10.0]
+    assert p_means[2] <= p_means[0], "p=10 must beat p=1"
+    # Sub-proportional: 10x priority gives < 10x speedup.
+    assert p_means[0] / max(p_means[2], 1e-9) < 10.0
+
+    bounds, b_means = res.series("bound")
+    assert b_means[-1] >= b_means[0], "the tightest bound must cost the most"

@@ -1,0 +1,29 @@
+"""Tables I, II and IV — the paper's survey/config tables."""
+
+from repro.experiments.tables import table1_text, table2_text, table4_text
+
+
+def test_table1(benchmark, emit):
+    text = benchmark.pedantic(table1_text, rounds=1, iterations=1)
+    emit("table1", text)
+    assert "Ext4 with cgroups" in text
+
+
+def test_table2(benchmark, emit):
+    text = benchmark.pedantic(table2_text, rounds=1, iterations=1)
+    emit("table2", text)
+    # Only Tango covers both layers.
+    tango_rows = [l for l in text.splitlines() if l.startswith("Tango")]
+    assert len(tango_rows) == 1 and tango_rows[0].count("yes") == 2
+    others = [
+        l for l in text.splitlines()
+        if l and not l.startswith(("Tango", "Work", "-", "Table"))
+    ]
+    assert all(l.count("yes") <= 1 for l in others)
+
+
+def test_table4(benchmark, emit):
+    text = benchmark.pedantic(table4_text, rounds=1, iterations=1)
+    emit("table4", text)
+    for token in ("768 MB", "512 MB", "1024 MB", "120 secs", "360 secs"):
+        assert token in text

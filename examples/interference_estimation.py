@@ -1,0 +1,54 @@
+#!/usr/bin/env python
+"""DFT-based interference estimation on the Table IV noise mix.
+
+Runs the analytics with no adaptivity (so every step samples the shared
+HDD), trains the DFT estimator on the first half of the bandwidth trace,
+and forecasts the second half — the paper's Fig. 7 experiment — showing
+how the threshold controls the accuracy/robustness trade-off, and how the
+naive baselines compare.
+
+Run:  python examples/interference_estimation.py
+"""
+
+import numpy as np
+
+from repro.core.estimator import DFTEstimator, LastValueEstimator, MeanEstimator
+from repro.experiments import ScenarioConfig, run_scenario
+
+
+def main() -> None:
+    cfg = ScenarioConfig(app="xgc", policy="no-adaptivity", max_steps=60, seed=0)
+    res = run_scenario(cfg)
+    bw = res.measured_bandwidths  # bytes/s, one sample per 60 s step
+    half = len(bw) // 2
+    train, truth = bw[:half], bw[half:]
+    future = np.arange(half, len(bw))
+
+    print(f"Measured HDD bandwidth, {len(bw)} steps (MB/s):")
+    print("  " + " ".join(f"{x / 1e6:.0f}" for x in bw))
+
+    print("\nForecast of the second half (MAE in MB/s):")
+    for name, est in (
+        ("DFT thresh=25%", DFTEstimator(0.25)),
+        ("DFT thresh=50%", DFTEstimator(0.50)),
+        ("DFT thresh=75%", DFTEstimator(0.75)),
+        ("mean baseline", MeanEstimator()),
+        ("last-value baseline", LastValueEstimator()),
+    ):
+        est.fit(train)
+        pred = np.asarray(est.predict(future))
+        mae = np.abs(pred - truth).mean() / 1e6
+        extra = (
+            f" ({est.num_kept_components} components kept)"
+            if isinstance(est, DFTEstimator)
+            else ""
+        )
+        print(f"  {name:20s}: MAE {mae:6.1f}{extra}")
+
+    print("\nThe DFT forecast tracks the periodic checkpoint interference;")
+    print("raising the threshold discards more components and degrades it —")
+    print("the same trend as the paper's Fig. 7.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,52 @@
+#!/usr/bin/env python
+"""Progressive retrieval with the serialized refactored format.
+
+The staged layout's key property: any *byte prefix* of a refactored
+dataset is a valid partial retrieval.  A consumer can fetch the base,
+look at it, and keep streaming coefficients until the accuracy suffices
+— without ever re-reading earlier bytes.  This example packs an XGC
+field, then "retrieves" successively longer prefixes and shows the
+accuracy (and blob census) improving rung by rung.
+
+Run:  python examples/progressive_retrieval.py
+"""
+
+from repro.apps import make_app
+from repro.apps.xgc import detect_blobs
+from repro.core import ErrorMetric, build_ladder, decompose, nrmse
+from repro.core.refactor import levels_for_decimation
+from repro.core.serialize import pack_ladder, payload_size_through, unpack_partial
+
+
+def main() -> None:
+    app = make_app("xgc")
+    field = app.generate((256, 256), seed=3)
+    levels = levels_for_decimation(field.shape, 256)
+    ladder = build_ladder(
+        decompose(field, levels), [0.1, 0.05, 0.01, 0.001], ErrorMetric.NRMSE
+    )
+    payload = pack_ladder(ladder)
+    print(f"Refactored dataset: {len(payload):,} bytes "
+          f"({ladder.stream_length:,} coefficients + {ladder.base_nbytes:,}-byte base)")
+
+    reference = detect_blobs(field)
+    print(f"Ground truth: {reference.count} blobs\n")
+    print(f"{'rung':>4} {'bytes fetched':>14} {'fraction':>9} {'NRMSE':>9} {'blobs':>6}")
+    for rung in range(ladder.num_buckets + 1):
+        size = payload_size_through(ladder, rung)
+        restored = unpack_partial(payload[:size])
+        approx = restored.reconstruct(rung)
+        census = detect_blobs(approx)
+        label = "base" if rung == 0 else f"{ladder.bucket(rung).bound:g}"
+        print(
+            f"{rung:>4} {size:>14,} {size / len(payload):>8.0%} "
+            f"{nrmse(field, approx):>9.5f} {census.count:>6}   (eps={label})"
+        )
+
+    print("\nEach row reuses every byte of the previous one — the consumer")
+    print("only ever reads *new* data, which is what makes the on-the-fly")
+    print("accuracy elevation of Algorithm 1 cheap.")
+
+
+if __name__ == "__main__":
+    main()

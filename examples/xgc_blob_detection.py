@@ -1,0 +1,66 @@
+#!/usr/bin/env python
+"""XGC blob detection under I/O interference.
+
+The workload the paper's introduction motivates: a fusion scientist
+post-processing XGC electrostatic-potential output on a shared node,
+hunting for coherent blobs.  This example compares what the scientist
+sees at each rung of the accuracy ladder, then runs the interference
+scenario and shows that the adaptive retrieval keeps the blob census
+essentially intact while cutting I/O time.
+
+Run:  python examples/xgc_blob_detection.py
+"""
+
+from repro.apps import make_app
+from repro.apps.xgc import detect_blobs
+from repro.core import ErrorMetric, build_ladder, decompose
+from repro.core.refactor import levels_for_decimation
+from repro.experiments import ScenarioConfig, run_scenario
+
+
+def main() -> None:
+    app = make_app("xgc")
+    field = app.generate((256, 256), seed=3)
+    reference = detect_blobs(field)
+    print("Reference blob census (full-accuracy data):")
+    print(
+        f"  {reference.count} blobs, mean diameter {reference.mean_diameter:.1f} px, "
+        f"total area {reference.total_area:.0f} px², mean peak {reference.mean_peak:.2f}"
+    )
+
+    # --- What does each accuracy rung show the scientist? ----------------
+    levels = levels_for_decimation(field.shape, 256)
+    dec = decompose(field, levels)
+    ladder = build_ladder(dec, [0.1, 0.05, 0.01, 0.001], ErrorMetric.NRMSE)
+    print("\nBlob census per accuracy rung (decimation 256):")
+    for rung in range(ladder.num_buckets + 1):
+        approx = ladder.reconstruct(rung)
+        stats = detect_blobs(approx)
+        label = "base" if rung == 0 else f"eps={ladder.bucket(rung).bound:g}"
+        print(
+            f"  rung {rung} ({label:9s}): {stats.count:2d} blobs, "
+            f"mean diameter {stats.mean_diameter:5.1f} px, "
+            f"outcome error {app.outcome_error(field, approx):.3f}"
+        )
+
+    # --- Under interference: adaptive vs static retrieval ----------------
+    print("\nInterference scenario (NRMSE bound 0.01, priority high):")
+    for policy in ("no-adaptivity", "cross-layer"):
+        cfg = ScenarioConfig(
+            app="xgc",
+            policy=policy,
+            prescribed_bound=0.01,
+            priority=10.0,
+            max_steps=30,
+            seed=3,
+        )
+        res = run_scenario(cfg)
+        print(
+            f"  {policy:14s}: mean I/O {res.mean_io_time:6.2f} s "
+            f"(std {res.std_io_time:5.2f}), blob-census error "
+            f"{res.mean_outcome_error:.4f}"
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,45 @@
+"""The paper's three data analytics: XGC blob detection, GenASiS
+core-collapse rendering, and CFD high-pressure analysis, plus synthetic
+field generators that stand in for the (unavailable) simulation datasets."""
+
+from repro.apps.base import AnalyticsApp
+from repro.apps.synthetic import (
+    xgc_dpot_field,
+    genasis_velocity_field,
+    cfd_pressure_field,
+)
+from repro.apps.xgc import XGCBlobDetection, BlobStats, detect_blobs
+from repro.apps.genasis import GenASiSRendering, RenderQuality
+from repro.apps.cfd import CFDPressureAnalysis, PressureStats
+
+__all__ = [
+    "AnalyticsApp",
+    "xgc_dpot_field",
+    "genasis_velocity_field",
+    "cfd_pressure_field",
+    "XGCBlobDetection",
+    "BlobStats",
+    "detect_blobs",
+    "GenASiSRendering",
+    "RenderQuality",
+    "CFDPressureAnalysis",
+    "PressureStats",
+    "ALL_APPS",
+    "make_app",
+]
+
+ALL_APPS = ("xgc", "genasis", "cfd")
+
+
+def make_app(name: str, **kwargs) -> AnalyticsApp:
+    """Factory for the three evaluation analytics by short name."""
+    table = {
+        "xgc": XGCBlobDetection,
+        "genasis": GenASiSRendering,
+        "cfd": CFDPressureAnalysis,
+    }
+    try:
+        cls = table[name]
+    except KeyError:
+        raise ValueError(f"unknown app {name!r}; expected one of {sorted(table)}")
+    return cls(**kwargs)

@@ -1,0 +1,52 @@
+"""Common interface for the evaluation analytics.
+
+Each app can generate a synthetic stand-in field, analyse a field into a
+dictionary of scalar outcomes, and score the *relative error of the
+analysis outcome* between a reference field's outcomes and a reduced
+representation's (the quantity Fig. 2 and Fig. 10 report).
+"""
+
+from __future__ import annotations
+
+import abc
+
+import numpy as np
+
+__all__ = ["AnalyticsApp"]
+
+
+class AnalyticsApp(abc.ABC):
+    """One of the paper's data analytics (XGC / GenASiS / CFD)."""
+
+    #: Short identifier used in experiment tables.
+    name: str = "abstract"
+
+    @abc.abstractmethod
+    def generate(self, shape: tuple[int, int] = (256, 256), seed: int = 0) -> np.ndarray:
+        """Produce a synthetic field with this app's characteristic features."""
+
+    @abc.abstractmethod
+    def analyze(self, field: np.ndarray) -> dict[str, float]:
+        """Run the analytics, returning named scalar outcomes."""
+
+    def outcome_error(self, reference: np.ndarray, approx: np.ndarray) -> float:
+        """Mean relative error over this app's scalar outcomes.
+
+        Outcomes that are zero in the reference are compared absolutely
+        against the reference field's outcome scale.
+        """
+        ref = self.analyze(reference)
+        got = self.analyze(approx)
+        errors = []
+        for key, ref_val in ref.items():
+            approx_val = got[key]
+            if ref_val != 0:
+                errors.append(abs(approx_val - ref_val) / abs(ref_val))
+            elif approx_val != 0:
+                errors.append(1.0)
+            else:
+                errors.append(0.0)
+        return float(np.mean(errors)) if errors else 0.0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{type(self).__name__} {self.name!r}>"

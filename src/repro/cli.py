@@ -1,0 +1,356 @@
+"""Command-line interface: run scenarios and regenerate paper artifacts.
+
+Examples::
+
+    python -m repro scenario --app xgc --policy cross-layer --steps 30
+    python -m repro figure fig08 --fast
+    python -m repro figure headline
+    python -m repro tables
+    python -m repro list
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Callable
+
+__all__ = ["main", "build_parser", "FIGURES"]
+
+
+def _fig01(fast: bool):
+    from repro.experiments.fig01 import run_fig01
+
+    return run_fig01(max_steps=15 if fast else 40)
+
+
+def _fig02(fast: bool):
+    from repro.experiments.fig02 import run_fig02
+
+    return run_fig02(ratios=(4, 16, 64) if fast else (4, 16, 64, 256, 512))
+
+
+def _fig05(fast: bool):
+    from repro.experiments.fig05 import run_fig05
+
+    return run_fig05()
+
+
+def _fig07(fast: bool):
+    from repro.experiments.fig07 import run_fig07
+
+    return run_fig07(max_steps=60)
+
+
+def _fig08(fast: bool):
+    from repro.experiments.fig08 import run_fig08
+
+    return run_fig08(replications=1 if fast else 3, max_steps=30 if fast else 60)
+
+
+def _fig09(fast: bool):
+    from repro.experiments.fig09 import run_fig09
+
+    return run_fig09(replications=1 if fast else 2, max_steps=30 if fast else 50)
+
+
+def _fig10(fast: bool):
+    from repro.experiments.fig10 import run_fig10
+
+    return run_fig10(replications=1 if fast else 2, max_steps=30 if fast else 50)
+
+
+def _fig11(fast: bool):
+    from repro.experiments.fig11 import run_fig11
+
+    return run_fig11(include_over_resolved=not fast)
+
+
+def _fig12(fast: bool):
+    from repro.experiments.fig12 import run_fig12
+
+    return run_fig12(
+        replications=1 if fast else 3,
+        max_steps=25 if fast else 50,
+        noise_counts=(1, 3, 6) if fast else (1, 2, 3, 4, 5, 6),
+    )
+
+
+def _fig13(fast: bool):
+    from repro.experiments.fig13 import run_fig13
+
+    return run_fig13(replications=1 if fast else 3, max_steps=25 if fast else 60)
+
+
+def _fig14(fast: bool):
+    from repro.experiments.fig14 import run_fig14
+
+    return run_fig14(replications=1 if fast else 3, max_steps=25 if fast else 60)
+
+
+def _fig15(fast: bool):
+    from repro.experiments.fig15 import run_fig15
+
+    return run_fig15()
+
+
+def _fig16(fast: bool):
+    from repro.experiments.fig16 import run_fig16
+
+    return run_fig16(node_counts=(1, 2) if fast else (1, 2, 4), parallel=not fast)
+
+
+def _headline(fast: bool):
+    from repro.experiments.headline import run_headline
+
+    return run_headline(replications=1 if fast else 3, max_steps=30 if fast else 60)
+
+
+def _threetier(fast: bool):
+    from repro.experiments.threetier import run_threetier
+
+    return run_threetier(replications=1 if fast else 2, max_steps=25 if fast else 50)
+
+
+def _campaign(fast: bool):
+    from repro.experiments.campaign import CampaignConfig, run_campaign
+    from repro.workloads.churn import ChurnSpec
+
+    return run_campaign(
+        CampaignConfig(
+            steps=24 if fast else 60,
+            timeseries_window=4 if fast else 8,
+            churn=ChurnSpec(arrival_rate=1 / 120.0, mean_lifetime=600.0),
+            degrade_to=0.4,
+            estimation_interval=10,
+            seed=4,
+        )
+    )
+
+
+#: Registry of regenerable paper artifacts.
+FIGURES: dict[str, Callable[[bool], object]] = {
+    "fig01": _fig01,
+    "fig02": _fig02,
+    "fig05": _fig05,
+    "fig07": _fig07,
+    "fig08": _fig08,
+    "fig09": _fig09,
+    "fig10": _fig10,
+    "fig11": _fig11,
+    "fig12": _fig12,
+    "fig13": _fig13,
+    "fig14": _fig14,
+    "fig15": _fig15,
+    "fig16": _fig16,
+    "headline": _headline,
+    "threetier": _threetier,
+    "campaign": _campaign,
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Tango (SC'24) reproduction: scenarios and paper artifacts.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sc = sub.add_parser("scenario", help="run one single-node scenario")
+    sc.add_argument("--app", default="xgc", choices=("xgc", "genasis", "cfd"))
+    sc.add_argument(
+        "--policy",
+        default="cross-layer",
+        choices=("no-adaptivity", "storage-only", "app-only", "cross-layer"),
+    )
+    sc.add_argument("--steps", type=int, default=30)
+    sc.add_argument("--seed", type=int, default=0)
+    sc.add_argument("--priority", type=float, default=10.0)
+    sc.add_argument("--bound", type=float, default=0.01, help="prescribed NRMSE bound")
+    sc.add_argument("--noises", type=int, default=6, help="number of Table IV noises")
+    sc.add_argument("--estimator", default="dft", choices=("dft", "mean", "last"))
+    sc.add_argument("--csv", metavar="PATH", help="write the per-step trace as CSV")
+    sc.add_argument("--json", action="store_true", help="print a JSON summary")
+    sc.add_argument(
+        "--sparkline",
+        action="store_true",
+        help="print I/O-time and bandwidth sparklines for the run",
+    )
+
+    fig = sub.add_parser("figure", help="regenerate one paper figure/table")
+    fig.add_argument("name", choices=sorted(FIGURES))
+    fig.add_argument("--fast", action="store_true", help="reduced-scale run")
+    fig.add_argument("--out", metavar="PATH", help="also write the rows to a file")
+
+    io = sub.add_parser(
+        "iobench", help="fio-style sanity check of the simulated device model"
+    )
+    io.add_argument(
+        "--device",
+        default="seagate-hdd-2t",
+        help="device preset name (see repro.storage.device.DEVICE_PRESETS)",
+    )
+    io.add_argument("--readers", type=int, default=1)
+    io.add_argument("--writers", type=int, default=0)
+    io.add_argument("--size-mb", type=int, default=500, help="per-stream bytes")
+    io.add_argument(
+        "--weights",
+        default="",
+        help="comma-separated blkio weights, one per stream (default all 100)",
+    )
+
+    exp = sub.add_parser("export", help="run an artifact and write JSON plot data")
+    exp.add_argument("name", choices=sorted(FIGURES))
+    exp.add_argument("path", help="output JSON file")
+    exp.add_argument("--fast", action="store_true", help="reduced-scale run")
+
+    sub.add_parser("tables", help="print the paper's survey tables")
+    sub.add_parser("list", help="list regenerable artifacts")
+    return parser
+
+
+def _cmd_scenario(args: argparse.Namespace) -> int:
+    from repro.experiments.config import ScenarioConfig
+    from repro.experiments.runner import run_scenario
+    from repro.experiments.trace import scenario_summary, write_csv
+    from repro.workloads.noise import TABLE_IV_NOISE
+
+    cfg = ScenarioConfig(
+        app=args.app,
+        policy=args.policy,
+        max_steps=args.steps,
+        seed=args.seed,
+        priority=args.priority,
+        prescribed_bound=args.bound,
+        noise=TABLE_IV_NOISE[: args.noises],
+        estimator=args.estimator,
+    )
+    result = run_scenario(cfg)
+    summary = scenario_summary(result)
+    if args.json:
+        print(json.dumps(summary, indent=2))
+    else:
+        print(f"{args.app} / {args.policy}: {len(result.records)} steps")
+        print(f"  mean I/O time : {result.mean_io_time:.2f} s (std {result.std_io_time:.2f})")
+        print(f"  mean rung     : {result.mean_target_rung:.2f} / {result.ladder.num_buckets}")
+        print(f"  outcome error : {result.mean_outcome_error:.4f}")
+        print(f"  weight moves  : {len(result.weight_history)}")
+    if args.sparkline:
+        from repro.experiments.report import sparkline
+
+        print(f"  io times      : {sparkline(result.io_times)}")
+        print(f"  measured BW   : {sparkline(result.measured_bandwidths)}")
+        print(f"  target rungs  : {sparkline([r.target_rung for r in result.records])}")
+    if args.csv:
+        write_csv(result.records, args.csv)
+        print(f"trace written to {args.csv}", file=sys.stderr)
+    return 0
+
+
+def _cmd_figure(args: argparse.Namespace) -> int:
+    result = FIGURES[args.name](args.fast)
+    text = result.format_rows()
+    print(text)
+    if args.out:
+        with open(args.out, "w") as f:
+            f.write(text + "\n")
+        print(f"rows written to {args.out}", file=sys.stderr)
+    return 0
+
+
+def _cmd_iobench(args: argparse.Namespace) -> int:
+    from repro.simkernel import Simulation
+    from repro.storage.cgroup import CgroupController
+    from repro.storage.device import DEVICE_PRESETS, BlockDevice
+    from repro.util.units import bytes_to_mb, mb_to_bytes
+
+    try:
+        spec = DEVICE_PRESETS[args.device]
+    except KeyError:
+        print(f"unknown device {args.device!r}; presets: {sorted(DEVICE_PRESETS)}",
+              file=sys.stderr)
+        return 2
+    n = args.readers + args.writers
+    if n < 1:
+        print("need at least one stream", file=sys.stderr)
+        return 2
+    weights = [int(w) for w in args.weights.split(",") if w] or [100] * n
+    if len(weights) != n:
+        print(f"{n} streams but {len(weights)} weights", file=sys.stderr)
+        return 2
+
+    sim = Simulation()
+    device = BlockDevice(sim, spec)
+    cgroups = CgroupController()
+    results: dict[str, object] = {}
+
+    def worker(tag, direction, weight):
+        cg = cgroups.create(tag, weight)
+        stats = yield device.submit(cg, int(mb_to_bytes(args.size_mb)), direction)
+        results[tag] = stats
+
+    idx = 0
+    for _ in range(args.readers):
+        sim.process(worker(f"read-{idx}", "read", weights[idx]))
+        idx += 1
+    for _ in range(args.writers):
+        sim.process(worker(f"write-{idx}", "write", weights[idx]))
+        idx += 1
+    sim.run()
+
+    print(f"device {spec.name}: {args.readers} readers + {args.writers} writers, "
+          f"{args.size_mb} MB each")
+    for tag in sorted(results):
+        stats = results[tag]
+        print(
+            f"  {tag:10s} weight={weights[int(tag.split('-')[1])]:4d}  "
+            f"elapsed={stats.elapsed:7.2f} s  "
+            f"avg={bytes_to_mb(stats.effective_bandwidth):6.1f} MB/s"
+        )
+    total = sum(device.bytes_moved.values())
+    print(f"  aggregate: {bytes_to_mb(total):.0f} MB in {sim.now:.2f} s "
+          f"({bytes_to_mb(total / sim.now):.1f} MB/s)")
+    return 0
+
+
+def _cmd_export(args: argparse.Namespace) -> int:
+    from repro.experiments.export import export_figure
+
+    export_figure(args.name, args.path, fast=args.fast)
+    print(f"JSON plot data written to {args.path}", file=sys.stderr)
+    return 0
+
+
+def _cmd_tables(_args: argparse.Namespace) -> int:
+    from repro.experiments.tables import table1_text, table2_text, table4_text
+
+    print(table1_text())
+    print()
+    print(table2_text())
+    print()
+    print(table4_text())
+    return 0
+
+
+def _cmd_list(_args: argparse.Namespace) -> int:
+    for name in sorted(FIGURES):
+        print(name)
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "scenario": _cmd_scenario,
+        "figure": _cmd_figure,
+        "iobench": _cmd_iobench,
+        "export": _cmd_export,
+        "tables": _cmd_tables,
+        "list": _cmd_list,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,6 @@
+"""Docker-like container runtime over the simulated cgroup controller."""
+
+from repro.containers.container import Container
+from repro.containers.runtime import ContainerRuntime
+
+__all__ = ["Container", "ContainerRuntime"]

@@ -1,0 +1,60 @@
+"""The container runtime: create/run/stop containers on a node."""
+
+from __future__ import annotations
+
+from typing import Callable, Generator
+
+from repro.containers.container import Container
+from repro.simkernel import Simulation
+from repro.storage.cgroup import CgroupController, DEFAULT_BLKIO_WEIGHT
+
+__all__ = ["ContainerRuntime"]
+
+
+class ContainerRuntime:
+    """Creates containers, each backed by its own blkio cgroup."""
+
+    def __init__(self, sim: Simulation, cgroups: CgroupController | None = None) -> None:
+        self.sim = sim
+        self.cgroups = cgroups if cgroups is not None else CgroupController()
+        self._containers: dict[str, Container] = {}
+
+    def create(self, name: str, *, blkio_weight: int = DEFAULT_BLKIO_WEIGHT) -> Container:
+        """Create a container (and its cgroup) without starting a workload."""
+        if name in self._containers:
+            raise ValueError(f"container {name!r} already exists")
+        cgroup = self.cgroups.create(name, blkio_weight)
+        container = Container(self.sim, name, cgroup)
+        self._containers[name] = container
+        return container
+
+    def run(
+        self,
+        name: str,
+        workload: Callable[[Container], Generator],
+        *,
+        blkio_weight: int = DEFAULT_BLKIO_WEIGHT,
+    ) -> Container:
+        """Create a container and start ``workload(container)`` inside it."""
+        container = self.create(name, blkio_weight=blkio_weight)
+        container.attach(self.sim.process(workload(container)))
+        return container
+
+    def get(self, name: str) -> Container:
+        try:
+            return self._containers[name]
+        except KeyError:
+            raise KeyError(f"no container named {name!r}") from None
+
+    def stop(self, name: str) -> None:
+        self.get(name).stop()
+
+    def stop_all(self) -> None:
+        for container in self._containers.values():
+            container.stop()
+
+    def __len__(self) -> int:
+        return len(self._containers)
+
+    def names(self) -> list[str]:
+        return sorted(self._containers)

@@ -1,0 +1,313 @@
+"""The Tango controller and its adaptivity policies (Section III, Fig. 3).
+
+Four policies cover the paper's comparison matrix (Table II / Fig. 8):
+
+==================  ===================  =====================
+Policy              application layer    storage layer
+==================  ===================  =====================
+``no-adaptivity``   full augmentation    default weight (100)
+``storage-only``    full augmentation    weight ∝ cardinality
+``app-only``        dynamic (abplot)     default weight (100)
+``cross-layer``     dynamic (abplot)     full weight function
+==================  ===================  =====================
+
+:class:`TangoController` closes the loop: it records per-step achieved
+bandwidth, refits its estimator every ``estimation_interval`` steps
+(periodic re-estimation lets the controller track workload changes), and
+emits an :class:`AdaptationDecision` — the recomposition plan plus the
+weights to program into the container's blkio cgroup — for each analysis
+step.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.abplot import AugmentationBandwidthPlot
+from repro.core.error_control import AccuracyLadder
+from repro.core.estimator import BandwidthEstimator, DFTEstimator
+from repro.core.recompose import RecompositionPlan, plan_recomposition
+from repro.core.weights import WeightFunction
+
+__all__ = [
+    "AdaptationDecision",
+    "Policy",
+    "NoAdaptivityPolicy",
+    "StorageOnlyPolicy",
+    "AppOnlyPolicy",
+    "CrossLayerPolicy",
+    "TangoController",
+    "make_policy",
+    "POLICY_NAMES",
+]
+
+POLICY_NAMES = ("no-adaptivity", "storage-only", "app-only", "cross-layer")
+
+
+@dataclass(frozen=True)
+class AdaptationDecision:
+    """What the controller decided for one analysis step."""
+
+    step: int
+    plan: RecompositionPlan
+    predicted_bw: float
+    estimator_fitted: bool
+
+    @property
+    def target_rung(self) -> int:
+        return self.plan.target_rung
+
+
+class Policy:
+    """Base class: which layers adapt, and with what weight function.
+
+    ``weight_cardinality`` selects the |Aug| the weight function sees per
+    retrieval ("bucket" or "total"; see
+    :func:`repro.core.recompose.plan_recomposition`).
+    """
+
+    name: str = "abstract"
+    app_adaptive: bool = False
+    storage_adaptive: bool = False
+
+    def __init__(
+        self,
+        weight_fn: WeightFunction | None = None,
+        *,
+        weight_cardinality: str = "bucket",
+    ) -> None:
+        if self.storage_adaptive and weight_fn is None:
+            raise ValueError(f"policy {self.name!r} requires a weight function")
+        self.weight_fn = weight_fn if self.storage_adaptive else None
+        self.weight_cardinality = weight_cardinality
+
+    def plan(
+        self,
+        ladder: AccuracyLadder,
+        prescribed_bound: float,
+        predicted_bw: float,
+        abplot: AugmentationBandwidthPlot,
+        priority: float,
+    ) -> RecompositionPlan:
+        return plan_recomposition(
+            ladder,
+            prescribed_bound,
+            predicted_bw,
+            abplot,
+            weight_fn=self.weight_fn,
+            priority=priority,
+            adaptive=self.app_adaptive,
+            weight_cardinality=self.weight_cardinality,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{type(self).__name__} {self.name!r}>"
+
+
+class NoAdaptivityPolicy(Policy):
+    """Baseline: full augmentation, static default weight."""
+
+    name = "no-adaptivity"
+    app_adaptive = False
+    storage_adaptive = False
+
+
+class StorageOnlyPolicy(Policy):
+    """Single-layer storage adaptivity: full augmentation, weight from size.
+
+    The weight function supplied here should be a cardinality-only variant
+    (``use_priority=False, use_accuracy=False``), matching the paper's
+    "blkio weight is set proportionally according to the augmentation
+    size" description of the storage-only comparison point.
+    """
+
+    name = "storage-only"
+    app_adaptive = False
+    storage_adaptive = True
+
+
+class AppOnlyPolicy(Policy):
+    """Single-layer application adaptivity: dynamic augmentation, weight 100."""
+
+    name = "app-only"
+    app_adaptive = True
+    storage_adaptive = False
+
+
+class CrossLayerPolicy(Policy):
+    """Tango: dynamic augmentation + full weight-function coordination."""
+
+    name = "cross-layer"
+    app_adaptive = True
+    storage_adaptive = True
+
+
+def make_policy(
+    name: str,
+    weight_fn: WeightFunction | None = None,
+    *,
+    weight_cardinality: str = "bucket",
+) -> Policy:
+    """Factory keyed by the names used across the experiments."""
+    table: dict[str, type[Policy]] = {
+        NoAdaptivityPolicy.name: NoAdaptivityPolicy,
+        StorageOnlyPolicy.name: StorageOnlyPolicy,
+        AppOnlyPolicy.name: AppOnlyPolicy,
+        CrossLayerPolicy.name: CrossLayerPolicy,
+    }
+    try:
+        cls = table[name]
+    except KeyError:
+        raise ValueError(f"unknown policy {name!r}; expected one of {sorted(table)}")
+    return cls(weight_fn, weight_cardinality=weight_cardinality)
+
+
+@dataclass
+class _HistoryEntry:
+    step: int
+    bandwidth: float
+
+
+class TangoController:
+    """Per-application adaptation loop: observe → (re)estimate → decide.
+
+    Parameters
+    ----------
+    ladder:
+        The staged accuracy ladder for this application's dataset.
+    policy:
+        One of the four adaptivity policies.
+    abplot:
+        Bandwidth → augmentation-degree map.
+    prescribed_bound:
+        The user's error bound in the ladder's metric.
+    priority:
+        The application priority ``p`` (1 = low, 5 = medium, 10 = high).
+    estimator:
+        Bandwidth estimator prototype; refit every ``estimation_interval``
+        steps on the trailing ``history_window`` observations.
+    optimistic_bw:
+        Prediction used before the estimator has enough history (defaults
+        to the abplot's ``bw_high`` — retrieve fully until told otherwise).
+    """
+
+    def __init__(
+        self,
+        ladder: AccuracyLadder,
+        policy: Policy,
+        abplot: AugmentationBandwidthPlot,
+        prescribed_bound: float,
+        priority: float = 1.0,
+        estimator: BandwidthEstimator | None = None,
+        *,
+        estimation_interval: int = 30,
+        min_history: int = 8,
+        history_window: int = 256,
+        optimistic_bw: float | None = None,
+    ) -> None:
+        if estimation_interval < 1:
+            raise ValueError(f"estimation_interval must be >= 1, got {estimation_interval}")
+        if min_history < 2:
+            raise ValueError(f"min_history must be >= 2, got {min_history}")
+        self.ladder = ladder
+        self.policy = policy
+        self.abplot = abplot
+        self.prescribed_bound = float(prescribed_bound)
+        self.priority = float(priority)
+        self.estimator = estimator if estimator is not None else DFTEstimator()
+        self.estimation_interval = int(estimation_interval)
+        self.min_history = int(min_history)
+        self.history_window = int(history_window)
+        self.optimistic_bw = float(optimistic_bw if optimistic_bw is not None else abplot.bw_high)
+        self._history: list[_HistoryEntry] = []
+        self._fit_start_step: int | None = None
+        self._steps_since_fit = 0
+        self.decisions: list[AdaptationDecision] = []
+
+    # -- observation ----------------------------------------------------
+
+    def observe(self, step: int, measured_bw: float) -> None:
+        """Record the achieved bandwidth of one completed analysis step."""
+        if not np.isfinite(measured_bw) or measured_bw < 0:
+            raise ValueError(f"measured_bw must be finite and >= 0, got {measured_bw!r}")
+        if self._history and step <= self._history[-1].step:
+            raise ValueError(
+                f"steps must be strictly increasing, got {step} after "
+                f"{self._history[-1].step}"
+            )
+        self._history.append(_HistoryEntry(step=step, bandwidth=float(measured_bw)))
+
+    @property
+    def history(self) -> np.ndarray:
+        return np.asarray([h.bandwidth for h in self._history])
+
+    # -- estimation -------------------------------------------------------
+
+    def _maybe_refit(self) -> None:
+        n = len(self._history)
+        if n < self.min_history:
+            return
+        due = self._fit_start_step is None or self._steps_since_fit >= self.estimation_interval
+        if not due:
+            return
+        window = self._history[-self.history_window :]
+        self.estimator.fit(np.asarray([h.bandwidth for h in window]))
+        self._fit_start_step = window[0].step
+        self._steps_since_fit = 0
+
+    def predict_bandwidth(self, step: int) -> tuple[float, bool]:
+        """Prediction for ``step`` and whether it came from a fitted model."""
+        self._maybe_refit()
+        if self.estimator.is_fitted and self._fit_start_step is not None:
+            rel = step - self._fit_start_step
+            pred = float(self.estimator.predict(rel))
+            return max(pred, 0.0), True
+        if self._history:
+            return float(np.mean([h.bandwidth for h in self._history])), False
+        return self.optimistic_bw, False
+
+    # -- decision ----------------------------------------------------------
+
+    def estimation_diagnostics(self) -> dict[str, float]:
+        """Health of the current bandwidth model.
+
+        Returns the in-window residual of the last fit (MAE and its ratio
+        to the window mean) — a production controller surfaces this so
+        operators can see when the interference pattern has shifted faster
+        than the refit cadence.
+        """
+        if not self.estimator.is_fitted or self._fit_start_step is None:
+            return {"fitted": 0.0, "mae": float("nan"), "relative_mae": float("nan")}
+        window = [
+            h.bandwidth for h in self._history if h.step >= self._fit_start_step
+        ][: self.history_window]
+        if not window:
+            return {"fitted": 1.0, "mae": float("nan"), "relative_mae": float("nan")}
+        actual = np.asarray(window)
+        predicted = np.asarray(self.estimator.predict(np.arange(len(window))))
+        mae = float(np.abs(predicted - actual).mean())
+        mean = float(actual.mean())
+        return {
+            "fitted": 1.0,
+            "mae": mae,
+            "relative_mae": mae / mean if mean > 0 else float("inf"),
+        }
+
+    def decide(self, step: int) -> AdaptationDecision:
+        """Produce the plan (rungs + weights) for analysis step ``step``."""
+        predicted, fitted = self.predict_bandwidth(step)
+        self._steps_since_fit += 1
+        plan = self.policy.plan(
+            self.ladder,
+            self.prescribed_bound,
+            predicted,
+            self.abplot,
+            self.priority,
+        )
+        decision = AdaptationDecision(
+            step=step, plan=plan, predicted_bw=predicted, estimator_fitted=fitted
+        )
+        self.decisions.append(decision)
+        return decision

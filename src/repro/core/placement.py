@@ -1,0 +1,84 @@
+"""Placement of decomposed representations across storage tiers.
+
+Before an analytics job starts, the base representation and the
+augmentation buckets are staged onto the local ephemeral storage
+(Section III-A, step ①): the base goes to the fastest tier, buckets fill
+progressively slower tiers as capacity allows.  Retrieval-order locality is
+preserved — earlier (more critical) buckets land on faster tiers, matching
+the paper's principle that the latency of low-accuracy data matters most.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.error_control import AccuracyLadder
+
+__all__ = ["PlacementPlan", "plan_placement"]
+
+
+@dataclass(frozen=True)
+class PlacementPlan:
+    """Mapping of ladder objects to tier indices.
+
+    ``base_tier`` and ``bucket_tiers[m-1]`` index into the tier list passed
+    to :func:`plan_placement` (0 = fastest).  ``bytes_per_tier`` totals the
+    staged footprint per tier.
+    """
+
+    base_tier: int
+    bucket_tiers: tuple[int, ...]
+    bytes_per_tier: tuple[int, ...]
+
+    def tier_of_bucket(self, m: int) -> int:
+        if not 1 <= m <= len(self.bucket_tiers):
+            raise IndexError(
+                f"bucket index must be in [1, {len(self.bucket_tiers)}], got {m}"
+            )
+        return self.bucket_tiers[m - 1]
+
+
+def plan_placement(
+    ladder: AccuracyLadder,
+    tier_capacities: list[int],
+) -> PlacementPlan:
+    """Greedy capacity-aware staging plan.
+
+    ``tier_capacities`` lists each tier's available bytes, fastest first.
+    The base representation is placed on the fastest tier with room; each
+    bucket is then placed on the fastest tier that still has capacity,
+    never on a faster tier than the previous bucket's (retrieval-order
+    monotonicity: accuracy elevation walks down the hierarchy, mirroring
+    the paper's ST^{L(ε_m)} mapping).
+
+    Raises ``ValueError`` if the total footprint exceeds total capacity.
+    """
+    if not tier_capacities:
+        raise ValueError("at least one tier is required")
+    remaining = [int(c) for c in tier_capacities]
+    if any(c < 0 for c in remaining):
+        raise ValueError(f"tier capacities must be >= 0, got {tier_capacities}")
+
+    def place(nbytes: int, min_tier: int) -> int:
+        for t in range(min_tier, len(remaining)):
+            if remaining[t] >= nbytes:
+                remaining[t] -= nbytes
+                return t
+        raise ValueError(
+            f"object of {nbytes} bytes does not fit in tiers >= {min_tier} "
+            f"(remaining {remaining})"
+        )
+
+    base_tier = place(ladder.base_nbytes, 0)
+    bucket_tiers: list[int] = []
+    floor = base_tier
+    for bkt in ladder.buckets:
+        t = place(bkt.nbytes, floor)
+        bucket_tiers.append(t)
+        floor = t
+    used = [int(orig) - rem for orig, rem in zip(tier_capacities, remaining)]
+    return PlacementPlan(
+        base_tier=base_tier,
+        bucket_tiers=tuple(bucket_tiers),
+        bytes_per_tier=tuple(used),
+    )

@@ -1,0 +1,162 @@
+"""Error-bounded cross-layer recomposition planning (Algorithm 1).
+
+This module contains the *pure* (simulator-independent) part of
+Algorithm 1: given an accuracy ladder, a prescribed error bound ε_i, a
+bandwidth prediction, an augmentation-bandwidth plot, and a weight
+function, produce a :class:`RecompositionPlan` — the ordered list of
+bucket-retrieval steps with the blkio weight each step should apply
+(lines 6–13 of Algorithm 1) — and perform the prolongate-and-add
+recombination (lines 14–23, realised by
+:meth:`repro.core.error_control.AccuracyLadder.reconstruct`).
+
+The storage-side execution of a plan (issuing the reads into the simulated
+tiers, applying the weights through the cgroup controller) lives in
+:mod:`repro.workloads.analytics`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.abplot import AugmentationBandwidthPlot
+from repro.core.error_control import AccuracyLadder, AugmentationBucket
+from repro.core.weights import WeightFunction
+
+__all__ = ["RetrievalStep", "RecompositionPlan", "plan_recomposition", "recompose_to_bound"]
+
+
+@dataclass(frozen=True)
+class RetrievalStep:
+    """One line-10/11 iteration: apply ``weight`` then fetch ``bucket``
+    from the tier storing level ``tier_level``."""
+
+    bucket: AugmentationBucket
+    tier_level: int
+    weight: int | None
+
+    @property
+    def nbytes(self) -> int:
+        return self.bucket.nbytes
+
+
+@dataclass(frozen=True)
+class RecompositionPlan:
+    """The outcome of Algorithm 1's decision phase for one timestep.
+
+    ``prescribed_rung`` is the ladder rung mandated by the user's error
+    bound (``i``), ``estimated_rung`` the rung the interference estimate
+    allows (``j``), and ``target_rung`` their max (``k``).  ``steps`` holds
+    the retrieval sequence for rungs 1..k.
+    """
+
+    prescribed_rung: int
+    estimated_rung: int
+    target_rung: int
+    predicted_bw: float
+    augmentation_degree: float
+    steps: tuple[RetrievalStep, ...] = field(default_factory=tuple)
+
+    @property
+    def total_augmentation_bytes(self) -> int:
+        return sum(s.nbytes for s in self.steps)
+
+    @property
+    def retrieves_augmentation(self) -> bool:
+        return any(s.bucket.cardinality > 0 for s in self.steps)
+
+
+def _rung_for_degree(ladder: AccuracyLadder, degree: float) -> int:
+    """Highest rung reachable when retrieving ``degree`` × the full stream.
+
+    The abplot degree is a fraction of the total augmentation volume; the
+    reachable accuracy level ε_j is the deepest rung whose cumulative cut
+    fits within that fraction.
+    """
+    if ladder.stream_length == 0:
+        return ladder.num_buckets
+    allowed = degree * ladder.stream_length
+    rung = 0
+    for bkt in ladder.buckets:
+        if bkt.stop <= allowed + 1e-9:
+            rung = bkt.index
+        else:
+            break
+    return rung
+
+
+def plan_recomposition(
+    ladder: AccuracyLadder,
+    prescribed_bound: float,
+    predicted_bw: float,
+    abplot: AugmentationBandwidthPlot,
+    weight_fn: WeightFunction | None = None,
+    priority: float = 1.0,
+    *,
+    adaptive: bool = True,
+    weight_cardinality: str = "bucket",
+) -> RecompositionPlan:
+    """Decision phase of Algorithm 1.
+
+    Parameters
+    ----------
+    ladder:
+        The staged accuracy ladder for the dataset being analysed.
+    prescribed_bound:
+        The user's error bound ε_i in the ladder's metric.  Buckets up to
+        rung ``i`` are retrieved regardless of interference.
+    predicted_bw:
+        ``B̃W_s`` from the interference estimator, bytes/second.
+    abplot, weight_fn, priority:
+        The storage-coordination inputs.  ``weight_fn=None`` leaves blkio
+        weights untouched (application-layer-only adaptivity).
+    adaptive:
+        When False the estimate is ignored and a full augmentation is
+        planned (the no-adaptivity / storage-only baselines).
+    weight_cardinality:
+        Which |Aug| the weight function sees per retrieval.  ``"bucket"``
+        uses each bucket's own cardinality (the literal reading of
+        ``w(|Aug_{ε_m}|, ε_m, p)``); ``"total"`` uses the step's total
+        planned cardinality for every retrieval, so within a step only
+        the accuracy term varies — the reading behind the paper's
+        falling Fig. 15 trace ("proportional to the cardinality of the
+        *total* augmentations").
+    """
+    if not np.isfinite(predicted_bw):
+        raise ValueError(f"predicted_bw must be finite, got {predicted_bw!r}")
+    if weight_cardinality not in ("bucket", "total"):
+        raise ValueError(
+            f"weight_cardinality must be 'bucket' or 'total', got {weight_cardinality!r}"
+        )
+    prescribed = ladder.find_bucket_for_bound(prescribed_bound)
+    if adaptive:
+        degree = float(abplot.degree(max(predicted_bw, 0.0)))
+        estimated = _rung_for_degree(ladder, degree)
+    else:
+        degree = 1.0
+        estimated = ladder.num_buckets
+    target = max(prescribed, estimated)
+
+    total_cardinality = sum(ladder.bucket(m).cardinality for m in range(1, target + 1))
+    steps = []
+    for m in range(1, target + 1):
+        bkt = ladder.bucket(m)
+        card = bkt.cardinality if weight_cardinality == "bucket" else total_cardinality
+        weight = (
+            weight_fn(card, bkt.bound, priority) if weight_fn is not None else None
+        )
+        steps.append(RetrievalStep(bucket=bkt, tier_level=bkt.finest_level, weight=weight))
+    return RecompositionPlan(
+        prescribed_rung=prescribed,
+        estimated_rung=estimated,
+        target_rung=target,
+        predicted_bw=float(predicted_bw),
+        augmentation_degree=degree,
+        steps=tuple(steps),
+    )
+
+
+def recompose_to_bound(ladder: AccuracyLadder, plan: RecompositionPlan) -> np.ndarray:
+    """Lines 14–23 of Algorithm 1: prolongate-and-add up to the plan's rung."""
+    return ladder.reconstruct(plan.target_rung)

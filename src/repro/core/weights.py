@@ -1,0 +1,132 @@
+"""The blkio weight function (Section III-C, step 3; Fig. 5, Fig. 13).
+
+``w(|Aug_{ε_m}|, ε_m, p)`` maps the cardinality of the augmentation being
+retrieved, its accuracy level, and the application priority to a cgroup
+blkio weight in [100, 1000]:
+
+* NRMSE form:  ``w = k₂ · |Aug|·p / |lg ε_m| + b₂``
+* PSNR form:   ``w = k₂ · |Aug|·p / |ε_m|    + b₂``
+
+The denominator realises the paper's "favour low accuracy" principle: a
+looser bound (small ``|lg ε|`` for NRMSE, small PSNR value) gets a larger
+weight, because the low-accuracy data carries the critical information and
+must arrive fast.  ``k₂``/``b₂`` are calibrated from the two extreme
+scenarios — (largest cardinality, loosest accuracy, highest priority) ↦
+weight 1000 and (smallest cardinality, tightest accuracy, lowest priority)
+↦ weight 100, the Docker blkio weight range.
+
+For the Fig. 13 ablation the function can be restricted to use cardinality
+only, or cardinality + priority.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.core.error_control import ErrorMetric
+from repro.util.validation import check_positive
+
+__all__ = ["WeightFunction", "BLKIO_WEIGHT_MIN", "BLKIO_WEIGHT_MAX"]
+
+BLKIO_WEIGHT_MIN = 100
+BLKIO_WEIGHT_MAX = 1000
+
+#: Floor for the accuracy denominator, guarding ``|lg ε| → 0`` as ε → 1.
+_DENOM_FLOOR = 1e-3
+
+
+@dataclass(frozen=True)
+class WeightFunction:
+    """Calibrated blkio weight function.
+
+    Use :meth:`calibrated` to build one from the ranges a scenario can
+    produce.  ``use_priority`` / ``use_accuracy`` switch off the respective
+    terms for the Fig. 13 ablation (the dropped term is pinned to its
+    maximum-weight extreme so the remaining terms still span [100, 1000]).
+    """
+
+    metric: ErrorMetric
+    k2: float
+    b2: float
+    pinned_priority: float
+    pinned_accuracy: float
+    use_priority: bool = True
+    use_accuracy: bool = True
+
+    @staticmethod
+    def _denominator(metric: ErrorMetric, eps: float) -> float:
+        if metric is ErrorMetric.NRMSE:
+            if eps <= 0:
+                raise ValueError(f"NRMSE bound must be > 0, got {eps!r}")
+            return max(abs(math.log10(eps)), _DENOM_FLOOR)
+        if eps <= 0:
+            raise ValueError(f"PSNR bound must be > 0, got {eps!r}")
+        return max(abs(eps), _DENOM_FLOOR)
+
+    @classmethod
+    def calibrated(
+        cls,
+        metric: ErrorMetric,
+        *,
+        cardinality_range: tuple[float, float],
+        accuracy_range: tuple[float, float],
+        priority_range: tuple[float, float] = (1.0, 10.0),
+        use_priority: bool = True,
+        use_accuracy: bool = True,
+    ) -> "WeightFunction":
+        """Solve for ``k₂``/``b₂`` from the two extreme scenarios.
+
+        ``accuracy_range`` is (loosest, tightest) in the metric's own units;
+        ``cardinality_range`` and ``priority_range`` are (min, max).
+        """
+        card_min, card_max = sorted(float(c) for c in cardinality_range)
+        check_positive("cardinality_range max", card_max)
+        card_min = max(card_min, 1.0)
+        p_min, p_max = sorted(float(p) for p in priority_range)
+        check_positive("priority_range max", p_max)
+        p_min = max(p_min, 1e-9)
+        loosest, tightest = accuracy_range
+        if metric.is_tighter(loosest, tightest):
+            loosest, tightest = tightest, loosest
+
+        pinned_p = p_max
+        pinned_eps = loosest
+        d_loose = cls._denominator(metric, loosest)
+        d_tight = cls._denominator(metric, tightest)
+
+        u_max = card_max * (p_max if use_priority else pinned_p)
+        u_min = card_min * (p_min if use_priority else pinned_p)
+        if use_accuracy:
+            u_max /= d_loose
+            u_min /= d_tight
+        else:
+            u_max /= d_loose
+            u_min /= d_loose
+        if u_max <= u_min:
+            # Degenerate calibration (single-point ranges): constant midpoint.
+            k2, b2 = 0.0, (BLKIO_WEIGHT_MIN + BLKIO_WEIGHT_MAX) / 2.0
+        else:
+            k2 = (BLKIO_WEIGHT_MAX - BLKIO_WEIGHT_MIN) / (u_max - u_min)
+            b2 = BLKIO_WEIGHT_MIN - k2 * u_min
+        return cls(
+            metric=metric,
+            k2=k2,
+            b2=b2,
+            pinned_priority=pinned_p,
+            pinned_accuracy=pinned_eps,
+            use_priority=use_priority,
+            use_accuracy=use_accuracy,
+        )
+
+    def raw(self, cardinality: float, eps: float, priority: float) -> float:
+        """The unclipped weight value ``k₂·u + b₂``."""
+        p = priority if self.use_priority else self.pinned_priority
+        e = eps if self.use_accuracy else self.pinned_accuracy
+        u = float(cardinality) * float(p) / self._denominator(self.metric, float(e))
+        return self.k2 * u + self.b2
+
+    def __call__(self, cardinality: float, eps: float, priority: float) -> int:
+        """Blkio weight for retrieving ``Aug_{ε_m}``, clipped to [100, 1000]."""
+        w = self.raw(cardinality, eps, priority)
+        return int(round(min(max(w, BLKIO_WEIGHT_MIN), BLKIO_WEIGHT_MAX)))

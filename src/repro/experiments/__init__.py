@@ -1,0 +1,11 @@
+"""The evaluation harness: one module per paper table/figure.
+
+Every experiment function returns a plain-data result object whose
+``format_rows()`` (or module-level ``print_*``) renders the same
+rows/series the paper reports.  See DESIGN.md's per-experiment index.
+"""
+
+from repro.experiments.config import ScenarioConfig, DEFAULTS
+from repro.experiments.runner import ScenarioResult, run_scenario
+
+__all__ = ["ScenarioConfig", "DEFAULTS", "ScenarioResult", "run_scenario"]

@@ -1,0 +1,175 @@
+"""A full post-processing campaign: everything composed.
+
+The paper's target scenario end to end, at campaign length: per-timestep
+evolving analysis data (staged as a time series), a churning population
+of co-located checkpointing jobs, optionally a capacity-tier slowdown
+mid-campaign, and the cross-layer controller adapting throughout.  This
+is the closest thing in the repository to "a week on the cluster".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.apps import make_app
+from repro.apps.synthetic import field_time_series
+from repro.containers import ContainerRuntime
+from repro.core.abplot import AugmentationBandwidthPlot
+from repro.core.controller import TangoController, make_policy
+from repro.core.error_control import ErrorMetric, build_ladder
+from repro.core.refactor import decompose, levels_for_decimation
+from repro.experiments.config import DEFAULTS
+from repro.experiments.report import format_table, sparkline
+from repro.experiments.runner import make_weight_function
+from repro.simkernel import Simulation
+from repro.storage.staging import stage_timeseries
+from repro.storage.tier import TieredStorage
+from repro.workloads.analytics import AnalyticsDriver, StepRecord
+from repro.workloads.churn import ChurnSpec, launch_churn
+
+__all__ = ["CampaignConfig", "CampaignResult", "run_campaign"]
+
+
+@dataclass(frozen=True)
+class CampaignConfig:
+    """Campaign-scale scenario parameters."""
+
+    app: str = "xgc"
+    policy: str = "cross-layer"
+    steps: int = 120
+    period: float = 60.0
+    timeseries_window: int = 8
+    decimation_ratio: int = 16
+    ladder_bounds: tuple[float, ...] = (0.1, 0.01, 0.001)
+    prescribed_bound: float = 0.01
+    priority: float = 10.0
+    churn: ChurnSpec = field(default_factory=ChurnSpec)
+    #: When set, the capacity tier drops to this speed factor at the
+    #: campaign's midpoint (an aging/failing disk).
+    degrade_to: float | None = None
+    estimation_interval: int = DEFAULTS.estimation_interval
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.steps < 2:
+            raise ValueError(f"steps must be >= 2, got {self.steps}")
+        if self.timeseries_window < 1:
+            raise ValueError(
+                f"timeseries_window must be >= 1, got {self.timeseries_window}"
+            )
+        if self.degrade_to is not None and not 0.0 < self.degrade_to <= 1.0:
+            raise ValueError(f"degrade_to must be in (0, 1], got {self.degrade_to}")
+
+
+@dataclass
+class CampaignResult:
+    config: CampaignConfig
+    records: list[StepRecord]
+    estimation_diagnostics: dict[str, float]
+    final_time: float
+
+    @property
+    def io_times(self) -> np.ndarray:
+        return np.asarray([r.io_time for r in self.records])
+
+    @property
+    def mean_io_time(self) -> float:
+        return float(self.io_times.mean())
+
+    def half_means(self) -> tuple[float, float]:
+        """Mean I/O time of the first and second campaign halves."""
+        half = len(self.records) // 2
+        return (
+            float(self.io_times[:half].mean()),
+            float(self.io_times[half:].mean()),
+        )
+
+    @property
+    def mean_target_rung(self) -> float:
+        return float(np.mean([r.target_rung for r in self.records]))
+
+    def rung_half_means(self) -> tuple[float, float]:
+        rungs = np.asarray([r.target_rung for r in self.records])
+        half = len(rungs) // 2
+        return float(rungs[:half].mean()), float(rungs[half:].mean())
+
+    def format_rows(self) -> str:
+        first, second = self.half_means()
+        r1, r2 = self.rung_half_means()
+        table = format_table(
+            ["Metric", "First half", "Second half"],
+            [
+                ("mean I/O time (s)", f"{first:.2f}", f"{second:.2f}"),
+                ("mean rung", f"{r1:.2f}", f"{r2:.2f}"),
+            ],
+            title=(
+                f"Campaign: {self.config.app}/{self.config.policy}, "
+                f"{len(self.records)} steps, churn "
+                f"{'+ degradation' if self.config.degrade_to else ''}"
+            ),
+        )
+        return (
+            table
+            + f"\n  io sparkline  : {sparkline(self.io_times)}"
+            + f"\n  rung sparkline: {sparkline([r.target_rung for r in self.records])}"
+            + f"\n  estimator rel. MAE: {self.estimation_diagnostics.get('relative_mae', float('nan')):.2f}"
+        )
+
+
+def run_campaign(config: CampaignConfig | None = None) -> CampaignResult:
+    """Run a campaign (deterministic per seed)."""
+    cfg = config if config is not None else CampaignConfig()
+    app = make_app(cfg.app)
+    base_field = app.generate(DEFAULTS.grid_shape, seed=cfg.seed)
+    fields = field_time_series(base_field, cfg.timeseries_window, seed=cfg.seed + 1)
+    levels = levels_for_decimation(base_field.shape, cfg.decimation_ratio)
+    ladders = [
+        build_ladder(decompose(f, levels), list(cfg.ladder_bounds), ErrorMetric.NRMSE)
+        for f in fields
+    ]
+
+    sim = Simulation()
+    storage = TieredStorage.two_tier_testbed(sim)
+    runtime = ContainerRuntime(sim)
+    launch_churn(runtime, storage.slowest, cfg.churn, seed=cfg.seed + 2)
+    if cfg.degrade_to is not None:
+        midpoint = cfg.steps * cfg.period / 2.0
+        sim.schedule(midpoint, storage.slowest.device.set_speed_factor, cfg.degrade_to)
+
+    series = stage_timeseries(
+        f"{cfg.app}-campaign", ladders, storage, size_scale=DEFAULTS.size_scale
+    )
+    reference = series.ladder
+    weight_fn = (
+        make_weight_function(reference)
+        if cfg.policy in ("cross-layer", "storage-only")
+        else None
+    )
+    controller = TangoController(
+        reference,
+        make_policy(cfg.policy, weight_fn),
+        AugmentationBandwidthPlot(DEFAULTS.bw_low, DEFAULTS.bw_high),
+        prescribed_bound=cfg.prescribed_bound,
+        priority=cfg.priority,
+        estimation_interval=cfg.estimation_interval,
+    )
+    container = runtime.create("campaign-analytics")
+    driver = AnalyticsDriver(
+        container, series, controller, period=cfg.period, max_steps=cfg.steps
+    )
+    proc = sim.process(driver.workload())
+    container.attach(proc)
+
+    horizon = cfg.steps * cfg.period * 3.0
+    while proc.is_alive and sim.now < horizon:
+        sim.run(until=min(sim.now + cfg.period, horizon))
+    runtime.stop_all()
+
+    return CampaignResult(
+        config=cfg,
+        records=list(driver.records),
+        estimation_diagnostics=controller.estimation_diagnostics(),
+        final_time=sim.now,
+    )

@@ -1,0 +1,110 @@
+"""Experiment defaults (Section IV-A) and the scenario configuration.
+
+Paper defaults reproduced here:
+
+* decimation ratio 16 for the reduced representation;
+* default blkio weight 100 per container;
+* estimation every 30 timesteps, analytics period 60 s;
+* DFT threshold 50 % of the maximum amplitude;
+* ``BW_low`` = 30 MB/s, ``BW_high`` = 120 MB/s;
+* priorities 1 (low), 5 (medium), 10 (high);
+* six Table IV interfering containers on the HDD.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from types import SimpleNamespace
+
+from repro.core.error_control import ErrorMetric
+from repro.util.units import mb_per_s
+from repro.workloads.noise import TABLE_IV_NOISE, NoiseSpec
+
+__all__ = ["ScenarioConfig", "DEFAULTS", "PRIORITY_LOW", "PRIORITY_MEDIUM", "PRIORITY_HIGH"]
+
+PRIORITY_LOW = 1.0
+PRIORITY_MEDIUM = 5.0
+PRIORITY_HIGH = 10.0
+
+#: Paper-wide constants in one place (Section IV-A).
+DEFAULTS = SimpleNamespace(
+    decimation_ratio=16,
+    default_blkio_weight=100,
+    estimation_interval=30,
+    analytics_period=60.0,
+    dft_thresh=0.5,
+    bw_low=mb_per_s(30),
+    bw_high=mb_per_s(120),
+    priorities=(PRIORITY_LOW, PRIORITY_MEDIUM, PRIORITY_HIGH),
+    grid_shape=(256, 256),
+    #: Inflates staged file sizes to the paper's per-step dataset scale
+    #: (~0.5 GB for a 256² float64 grid).
+    size_scale=1000.0,
+)
+
+
+@dataclass(frozen=True)
+class ScenarioConfig:
+    """Everything needed to run one single-node scenario."""
+
+    app: str = "xgc"
+    policy: str = "cross-layer"
+    grid_shape: tuple[int, int] = DEFAULTS.grid_shape
+    decimation_ratio: int = DEFAULTS.decimation_ratio
+    metric: ErrorMetric = ErrorMetric.NRMSE
+    ladder_bounds: tuple[float, ...] = (0.1, 0.01, 0.001, 0.0001)
+    prescribed_bound: float | None = 0.01
+    error_control: bool = True
+    priority: float = PRIORITY_HIGH
+    noise: tuple[NoiseSpec, ...] = TABLE_IV_NOISE
+    noise_phase_jitter: float = 1.0
+    noise_period_jitter: float = 0.005
+    period: float = DEFAULTS.analytics_period
+    max_steps: int = 60
+    estimation_interval: int = DEFAULTS.estimation_interval
+    #: Bandwidth estimator: "dft" (the paper's), or the ablation baselines
+    #: "mean" / "last".
+    estimator: str = "dft"
+    dft_thresh: float = DEFAULTS.dft_thresh
+    bw_low: float = DEFAULTS.bw_low
+    bw_high: float = DEFAULTS.bw_high
+    size_scale: float = DEFAULTS.size_scale
+    #: Storage hierarchy: "two-tier" (the paper's testbed) or "three-tier"
+    #: (the Fig. 3 illustration with an NVMe performance tier).
+    tiers: str = "two-tier"
+    #: Weight-function ablation (Fig 13): drop the priority and/or accuracy
+    #: terms from the cross-layer weight function.
+    weight_use_priority: bool = True
+    weight_use_accuracy: bool = True
+    #: Cardinality fed to the weight function per retrieval: each bucket's
+    #: own ("bucket") or the step's total ("total", the paper's Fig. 15
+    #: reading where only the accuracy term varies within a step).
+    weight_cardinality: str = "bucket"
+    seed: int = 0
+
+    def with_(self, **changes) -> "ScenarioConfig":
+        """A modified copy (sugar over :func:`dataclasses.replace`)."""
+        return replace(self, **changes)
+
+    def __post_init__(self) -> None:
+        if self.policy not in ("no-adaptivity", "storage-only", "app-only", "cross-layer"):
+            raise ValueError(f"unknown policy {self.policy!r}")
+        if self.max_steps < 1:
+            raise ValueError(f"max_steps must be >= 1, got {self.max_steps}")
+        if not self.ladder_bounds:
+            raise ValueError("ladder_bounds must be non-empty")
+        if self.prescribed_bound is None and self.error_control:
+            raise ValueError("error_control=True requires a prescribed_bound")
+        if self.estimator not in ("dft", "mean", "last"):
+            raise ValueError(
+                f"estimator must be 'dft', 'mean', or 'last', got {self.estimator!r}"
+            )
+        if self.tiers not in ("two-tier", "three-tier"):
+            raise ValueError(
+                f"tiers must be 'two-tier' or 'three-tier', got {self.tiers!r}"
+            )
+        if self.weight_cardinality not in ("bucket", "total"):
+            raise ValueError(
+                f"weight_cardinality must be 'bucket' or 'total', "
+                f"got {self.weight_cardinality!r}"
+            )

@@ -1,0 +1,76 @@
+"""Fig. 2 — accuracy of a reduced representation vs decimation ratio.
+
+For each analytics app and decimation ratio, reconstruct from the base
+representation alone and report the PSNR of the data and the relative
+error of the analysis outcome.  The paper's observation: even at extreme
+decimation, outcome error stays moderate (≤ ~25 %).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.apps import ALL_APPS, make_app
+from repro.core.metrics import psnr
+from repro.core.refactor import decompose, levels_for_decimation, reconstruct_base_only
+from repro.experiments.report import format_table
+
+__all__ = ["Fig2Result", "run_fig02", "DEFAULT_DECIMATION_RATIOS"]
+
+DEFAULT_DECIMATION_RATIOS = (4, 16, 64, 256, 512)
+
+
+@dataclass(frozen=True)
+class Fig2Row:
+    app: str
+    decimation_ratio: int
+    achieved_decimation: float
+    psnr_db: float
+    outcome_error: float
+
+
+@dataclass(frozen=True)
+class Fig2Result:
+    rows: tuple[Fig2Row, ...]
+
+    def for_app(self, app: str) -> list[Fig2Row]:
+        return [r for r in self.rows if r.app == app]
+
+    def format_rows(self) -> str:
+        return format_table(
+            ["App", "Decimation", "Achieved", "PSNR (dB)", "Outcome rel. err"],
+            [
+                (r.app, r.decimation_ratio, f"{r.achieved_decimation:.0f}",
+                 f"{r.psnr_db:.1f}", f"{r.outcome_error:.3f}")
+                for r in self.rows
+            ],
+            title="Fig 2: accuracy of the reduced representation",
+        )
+
+
+def run_fig02(
+    *,
+    apps: tuple[str, ...] = ALL_APPS,
+    ratios: tuple[int, ...] = DEFAULT_DECIMATION_RATIOS,
+    grid_shape: tuple[int, int] = (256, 256),
+    seed: int = 0,
+) -> Fig2Result:
+    """Sweep decimation ratios per app, scoring the base-only reconstruction."""
+    rows: list[Fig2Row] = []
+    for app_name in apps:
+        app = make_app(app_name)
+        field = app.generate(grid_shape, seed=seed)
+        for ratio in ratios:
+            levels = levels_for_decimation(field.shape, ratio)
+            dec = decompose(field, levels)
+            approx = reconstruct_base_only(dec)
+            rows.append(
+                Fig2Row(
+                    app=app_name,
+                    decimation_ratio=ratio,
+                    achieved_decimation=dec.achieved_decimation,
+                    psnr_db=psnr(field, approx),
+                    outcome_error=app.outcome_error(field, approx),
+                )
+            )
+    return Fig2Result(rows=tuple(rows))

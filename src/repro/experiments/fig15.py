@@ -1,0 +1,78 @@
+"""Fig. 15 — weight assignment across time.
+
+Records how the analytics container's blkio weight is adjusted during an
+XGC run (p = 10, target NRMSE 0.01) over the paper's 1800–1950 s window.
+Expected shape: within one analysis step the weight starts high for the
+low-accuracy bucket and is lowered as the accuracy level rises — the
+design that favours low accuracy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.experiments.config import ScenarioConfig
+from repro.experiments.runner import run_scenario
+
+__all__ = ["Fig15Result", "run_fig15"]
+
+
+@dataclass(frozen=True)
+class Fig15Result:
+    #: (time, weight) pairs within the observation window.
+    window: tuple[tuple[float, int], ...]
+    #: Full weight history for context.
+    full_history: tuple[tuple[float, int], ...]
+    window_start: float
+    window_end: float
+
+    def weights_within_step(self) -> list[list[int]]:
+        """Group window weights into per-step sequences (gap > 30 s splits)."""
+        groups: list[list[tuple[float, int]]] = []
+        for t, w in self.window:
+            if groups and t - groups[-1][-1][0] <= 30.0:
+                groups[-1].append((t, w))
+            else:
+                groups.append([(t, w)])
+        return [[w for _, w in g] for g in groups]
+
+    def format_rows(self) -> str:
+        lines = [
+            f"Fig 15: weight assignment, {self.window_start:.0f}-{self.window_end:.0f} s "
+            "(XGC, p=10, NRMSE 0.01)"
+        ]
+        for t, w in self.window:
+            lines.append(f"  t={t:7.1f}s  weight={w}")
+        return "\n".join(lines)
+
+
+def run_fig15(
+    *,
+    window: tuple[float, float] = (1800.0, 1950.0),
+    max_steps: int = 40,
+    seed: int = 0,
+) -> Fig15Result:
+    """Run the cross-layer XGC scenario and slice its weight history."""
+    start, end = window
+    if end <= start:
+        raise ValueError(f"window end must exceed start, got {window}")
+    needed_steps = int(end / 60.0) + 2
+    cfg = ScenarioConfig(
+        app="xgc",
+        policy="cross-layer",
+        decimation_ratio=256,
+        prescribed_bound=0.01,
+        priority=10.0,
+        max_steps=max(max_steps, needed_steps),
+        # The paper's Fig. 15: the container weight is proportional to the
+        # *total* augmentation cardinality, so within a step only the
+        # accuracy term varies and the trace falls as accuracy rises.
+        weight_cardinality="total",
+        seed=seed,
+    )
+    res = run_scenario(cfg)
+    full = tuple(res.weight_history)
+    in_window = tuple((t, w) for t, w in full if start <= t <= end)
+    return Fig15Result(
+        window=in_window, full_history=full, window_start=start, window_end=end
+    )

@@ -1,0 +1,77 @@
+"""The paper's headline claim: I/O performance improved by ~52 % versus
+no adaptivity and ~36 % versus single-layer adaptivity.
+
+Derived from the Fig. 8 grid: for each app, the cross-layer's fractional
+mean-I/O-time improvement over (a) the no-adaptivity baseline and (b) the
+better single layer, averaged over apps.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.apps import ALL_APPS
+from repro.experiments.fig08 import Fig8Result, run_fig08
+from repro.experiments.report import format_table
+
+__all__ = ["HeadlineResult", "run_headline", "headline_from_grid"]
+
+
+@dataclass(frozen=True)
+class HeadlineResult:
+    improvement_vs_none: float
+    improvement_vs_single: float
+    per_app_vs_none: dict[str, float]
+    per_app_vs_single: dict[str, float]
+
+    def format_rows(self) -> str:
+        rows = [
+            (app, f"{100 * self.per_app_vs_none[app]:.0f}%",
+             f"{100 * self.per_app_vs_single[app]:.0f}%")
+            for app in sorted(self.per_app_vs_none)
+        ]
+        rows.append(
+            ("MEAN", f"{100 * self.improvement_vs_none:.0f}%",
+             f"{100 * self.improvement_vs_single:.0f}%")
+        )
+        return format_table(
+            ["App", "vs no adaptivity", "vs best single layer"],
+            rows,
+            title="Headline: cross-layer I/O-time improvement (paper: 52% / 36%)",
+        )
+
+
+def headline_from_grid(grid: Fig8Result) -> HeadlineResult:
+    """Compute the headline percentages from a policy grid result."""
+    apps = sorted({r.app for r in grid.rows})
+    vs_none: dict[str, float] = {}
+    vs_single: dict[str, float] = {}
+    for app in apps:
+        cross = grid.cell(app, "cross-layer").mean_io_time
+        none = grid.cell(app, "no-adaptivity").mean_io_time
+        single = min(
+            grid.cell(app, "storage-only").mean_io_time,
+            grid.cell(app, "app-only").mean_io_time,
+        )
+        vs_none[app] = 1.0 - cross / none if none > 0 else 0.0
+        vs_single[app] = 1.0 - cross / single if single > 0 else 0.0
+    return HeadlineResult(
+        improvement_vs_none=float(np.mean(list(vs_none.values()))),
+        improvement_vs_single=float(np.mean(list(vs_single.values()))),
+        per_app_vs_none=vs_none,
+        per_app_vs_single=vs_single,
+    )
+
+
+def run_headline(
+    *,
+    apps: tuple[str, ...] = ALL_APPS,
+    replications: int = 3,
+    max_steps: int = 60,
+    seed: int = 0,
+) -> HeadlineResult:
+    """Run Fig. 8 and derive the headline percentages."""
+    grid = run_fig08(apps=apps, replications=replications, max_steps=max_steps, seed=seed)
+    return headline_from_grid(grid)

@@ -1,0 +1,162 @@
+"""Multi-analytics scenarios: several adaptive applications on one node.
+
+The paper's target scenario is non-exclusive node usage — in general more
+than one data analytics shares the node with the checkpointing noise.
+This extension runs N analytics containers, each with its own dataset,
+controller, policy, priority, and error bound, over the shared two-tier
+storage, and reports per-application results.  The priority term of the
+weight function is what differentiates their service (Fig. 14a at the
+multi-tenant level).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.apps import make_app
+from repro.containers import ContainerRuntime
+from repro.core.abplot import AugmentationBandwidthPlot
+from repro.core.controller import TangoController, make_policy
+from repro.experiments.config import ScenarioConfig
+from repro.experiments.runner import _make_estimator, build_ladder_for_app, make_weight_function
+from repro.simkernel import Simulation
+from repro.storage.staging import stage_dataset
+from repro.storage.tier import TieredStorage
+from repro.workloads.analytics import AnalyticsDriver, StepRecord
+from repro.workloads.noise import launch_noise
+
+__all__ = ["TenantSpec", "TenantResult", "MultiScenarioResult", "run_multi_scenario"]
+
+
+@dataclass(frozen=True)
+class TenantSpec:
+    """One analytics application in a multi-tenant scenario."""
+
+    name: str
+    app: str = "xgc"
+    policy: str = "cross-layer"
+    priority: float = 10.0
+    prescribed_bound: float = 0.01
+    seed: int = 0
+
+
+@dataclass
+class TenantResult:
+    """Per-tenant outcome."""
+
+    spec: TenantSpec
+    records: list[StepRecord]
+
+    @property
+    def mean_io_time(self) -> float:
+        return float(np.mean([r.io_time for r in self.records]))
+
+    @property
+    def std_io_time(self) -> float:
+        return float(np.std([r.io_time for r in self.records]))
+
+    @property
+    def mean_weight(self) -> float:
+        weights = [w for r in self.records for w in r.weights]
+        return float(np.mean(weights)) if weights else 0.0
+
+    @property
+    def mean_target_rung(self) -> float:
+        return float(np.mean([r.target_rung for r in self.records]))
+
+
+@dataclass
+class MultiScenarioResult:
+    tenants: dict[str, TenantResult] = field(default_factory=dict)
+    final_time: float = 0.0
+
+    def __getitem__(self, name: str) -> TenantResult:
+        return self.tenants[name]
+
+    def io_time_ratio(self, numerator: str, denominator: str) -> float:
+        """Mean-I/O-time ratio between two tenants (QoS differentiation)."""
+        denom = self.tenants[denominator].mean_io_time
+        if denom <= 0:
+            return float("inf")
+        return self.tenants[numerator].mean_io_time / denom
+
+
+def run_multi_scenario(
+    tenants: list[TenantSpec],
+    base_config: ScenarioConfig | None = None,
+) -> MultiScenarioResult:
+    """Run several adaptive analytics against one interfered node.
+
+    Shared infrastructure (storage, noise) comes from ``base_config``;
+    per-tenant policy/priority/bound come from each :class:`TenantSpec`.
+    Every tenant stages its own dataset copy, so tenants are symmetric
+    except for their spec.
+    """
+    if not tenants:
+        raise ValueError("at least one tenant is required")
+    names = [t.name for t in tenants]
+    if len(set(names)) != len(names):
+        raise ValueError(f"tenant names must be unique, got {names}")
+    cfg = base_config if base_config is not None else ScenarioConfig()
+
+    sim = Simulation()
+    storage = TieredStorage.two_tier_testbed(sim)
+    runtime = ContainerRuntime(sim)
+    launch_noise(
+        runtime,
+        storage.slowest,
+        cfg.noise,
+        seed=cfg.seed + 1,
+        phase_jitter=cfg.noise_phase_jitter,
+        period_jitter=cfg.noise_period_jitter,
+    )
+    abplot = AugmentationBandwidthPlot(cfg.bw_low, cfg.bw_high)
+
+    drivers: dict[str, AnalyticsDriver] = {}
+    for spec in tenants:
+        app = make_app(spec.app)
+        _, ladder = build_ladder_for_app(
+            app,
+            grid_shape=cfg.grid_shape,
+            decimation_ratio=cfg.decimation_ratio,
+            metric=cfg.metric,
+            bounds=cfg.ladder_bounds,
+            seed=spec.seed,
+        )
+        dataset = stage_dataset(
+            f"{spec.name}-data", ladder, storage, size_scale=cfg.size_scale
+        )
+        if spec.policy == "storage-only":
+            weight_fn = make_weight_function(ladder, use_priority=False, use_accuracy=False)
+        elif spec.policy == "cross-layer":
+            weight_fn = make_weight_function(ladder)
+        else:
+            weight_fn = None
+        controller = TangoController(
+            ladder,
+            make_policy(spec.policy, weight_fn),
+            abplot,
+            prescribed_bound=spec.prescribed_bound,
+            priority=spec.priority,
+            estimator=_make_estimator(cfg),
+            estimation_interval=cfg.estimation_interval,
+        )
+        container = runtime.create(spec.name)
+        driver = AnalyticsDriver(
+            container, dataset, controller, period=cfg.period, max_steps=cfg.max_steps
+        )
+        container.attach(sim.process(driver.workload()))
+        drivers[spec.name] = driver
+
+    horizon = cfg.max_steps * cfg.period + 600.0
+    sim.run(until=horizon)
+    runtime.stop_all()
+
+    result = MultiScenarioResult(final_time=sim.now)
+    for spec in tenants:
+        result.tenants[spec.name] = TenantResult(
+            spec=spec, records=list(drivers[spec.name].records)
+        )
+    return result

@@ -1,0 +1,82 @@
+"""Plain-text table/series formatting for experiment outputs.
+
+Every experiment renders through these helpers so the benches print
+uniform, paper-style rows.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+__all__ = ["format_table", "format_series", "pct", "sparkline"]
+
+_SPARK_BLOCKS = "▁▂▃▄▅▆▇█"
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    *,
+    title: str | None = None,
+) -> str:
+    """Render an aligned plain-text table."""
+    str_rows = [[_cell(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells but there are {len(headers)} headers"
+            )
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in str_rows:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_series(
+    name: str, xs: Sequence[float], ys: Sequence[float], *, fmt: str = "{:.2f}"
+) -> str:
+    """Render an (x, y) series on one labelled line."""
+    if len(xs) != len(ys):
+        raise ValueError(f"series length mismatch: {len(xs)} vs {len(ys)}")
+    pairs = ", ".join(f"{_cell(x)}:{fmt.format(y)}" for x, y in zip(xs, ys))
+    return f"{name}: {pairs}"
+
+
+def pct(fraction: float) -> str:
+    """Format a fraction as a signed percentage."""
+    return f"{100.0 * fraction:+.0f}%"
+
+
+def sparkline(values: Sequence[float]) -> str:
+    """A one-line block-character sketch of a series (min→max scaled).
+
+    Useful for eyeballing per-step I/O times or bandwidth traces in a
+    terminal without a plotting stack.
+    """
+    vals = [float(v) for v in values]
+    if not vals:
+        return ""
+    lo, hi = min(vals), max(vals)
+    if hi == lo:
+        return _SPARK_BLOCKS[0] * len(vals)
+    span = hi - lo
+    out = []
+    for v in vals:
+        idx = int((v - lo) / span * (len(_SPARK_BLOCKS) - 1))
+        out.append(_SPARK_BLOCKS[idx])
+    return "".join(out)
+
+
+def _cell(value: object) -> str:
+    if isinstance(value, float):
+        if value == int(value) and abs(value) < 1e6:
+            return str(int(value))
+        return f"{value:.4g}"
+    return str(value)

@@ -1,0 +1,265 @@
+"""Single-node scenario runner: wires every substrate together.
+
+``run_scenario`` builds the two-tier testbed, decomposes and stages the
+app's dataset, launches the Table IV noise containers, runs the analytics
+under the configured adaptivity policy, and returns a
+:class:`ScenarioResult` with everything the figures report.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from functools import lru_cache
+
+import numpy as np
+
+from repro.apps import make_app
+from repro.apps.base import AnalyticsApp
+from repro.containers import ContainerRuntime
+from repro.core.abplot import AugmentationBandwidthPlot
+from repro.core.controller import TangoController, make_policy
+from repro.core.error_control import AccuracyLadder, ErrorMetric, build_ladder
+from repro.core.estimator import (
+    BandwidthEstimator,
+    DFTEstimator,
+    LastValueEstimator,
+    MeanEstimator,
+)
+from repro.core.refactor import decompose, levels_for_decimation
+from repro.core.weights import WeightFunction
+from repro.experiments.config import ScenarioConfig
+from repro.simkernel import Simulation
+from repro.storage.staging import StagedDataset, stage_dataset
+from repro.storage.tier import TieredStorage
+from repro.workloads.analytics import AnalyticsDriver, StepRecord
+from repro.workloads.noise import launch_noise
+
+__all__ = ["ScenarioResult", "run_scenario", "build_ladder_for_app"]
+
+
+def build_ladder_for_app(
+    app: AnalyticsApp,
+    *,
+    grid_shape: tuple[int, int],
+    decimation_ratio: int,
+    metric: ErrorMetric,
+    bounds: tuple[float, ...],
+    seed: int,
+) -> tuple[np.ndarray, AccuracyLadder]:
+    """Generate the app's field, decompose it, and build its ladder."""
+    data = app.generate(grid_shape, seed=seed)
+    levels = levels_for_decimation(data.shape, decimation_ratio)
+    dec = decompose(data, levels)
+    ladder = build_ladder(dec, list(bounds), metric)
+    return data, ladder
+
+
+def make_weight_function(
+    ladder: AccuracyLadder,
+    *,
+    use_priority: bool = True,
+    use_accuracy: bool = True,
+    priority_range: tuple[float, float] = (1.0, 10.0),
+) -> WeightFunction:
+    """Calibrate the weight function from what this ladder can produce."""
+    cards = [b.cardinality for b in ladder.buckets]
+    card_max = max(cards) if cards else 1
+    card_min = min((c for c in cards if c > 0), default=1)
+    bounds = ladder.budget.bounds
+    return WeightFunction.calibrated(
+        ladder.metric,
+        cardinality_range=(card_min, max(card_max, card_min + 1)),
+        accuracy_range=(bounds[0], bounds[-1]),
+        priority_range=priority_range,
+        use_priority=use_priority,
+        use_accuracy=use_accuracy,
+    )
+
+
+@dataclass
+class ScenarioResult:
+    """Outcome of one scenario run."""
+
+    config: ScenarioConfig
+    records: list[StepRecord]
+    ladder: AccuracyLadder
+    dataset: StagedDataset
+    app: AnalyticsApp
+    original: np.ndarray
+    weight_history: list[tuple[float, int]]
+    final_time: float
+    _outcome_cache: dict[int, float] = field(default_factory=dict)
+
+    # -- I/O performance (Figs 8, 9, 12, 13, 14, 16) -----------------------
+
+    @property
+    def io_times(self) -> np.ndarray:
+        return np.asarray([r.io_time for r in self.records])
+
+    @property
+    def mean_io_time(self) -> float:
+        return float(self.io_times.mean())
+
+    @property
+    def std_io_time(self) -> float:
+        return float(self.io_times.std())
+
+    def io_time_percentile(self, q: float) -> float:
+        """Tail latency: the q-th percentile of per-step I/O times."""
+        if not 0 <= q <= 100:
+            raise ValueError(f"percentile must be in [0, 100], got {q}")
+        return float(np.percentile(self.io_times, q))
+
+    @property
+    def measured_bandwidths(self) -> np.ndarray:
+        return np.asarray([r.measured_bw for r in self.records])
+
+    @property
+    def predicted_bandwidths(self) -> np.ndarray:
+        return np.asarray([r.predicted_bw for r in self.records])
+
+    @property
+    def step_times(self) -> np.ndarray:
+        return np.asarray([r.started_at for r in self.records])
+
+    # -- data quality (Figs 2, 10) -------------------------------------------
+
+    def outcome_error_at_rung(self, rung: int) -> float:
+        """Relative error of the analysis outcome at a ladder rung."""
+        if rung not in self._outcome_cache:
+            approx = self.ladder.reconstruct(rung)
+            self._outcome_cache[rung] = self.app.outcome_error(self.original, approx)
+        return self._outcome_cache[rung]
+
+    @property
+    def mean_outcome_error(self) -> float:
+        """Mean per-step analysis-outcome error, weighting steps equally."""
+        errs = [self.outcome_error_at_rung(r.target_rung) for r in self.records]
+        return float(np.mean(errs))
+
+    @property
+    def mean_target_rung(self) -> float:
+        return float(np.mean([r.target_rung for r in self.records]))
+
+    # -- augmentation retrieval latency (Fig 13) ------------------------------
+
+    def mean_latency_to_rung(self, rung: int) -> float:
+        """Average I/O time of the steps that reached at least ``rung``."""
+        times = [r.io_time for r in self.records if r.target_rung >= rung]
+        if not times:
+            raise RuntimeError(f"no step reached rung {rung}")
+        return float(np.mean(times))
+
+
+def _make_estimator(config: ScenarioConfig) -> BandwidthEstimator:
+    if config.estimator == "dft":
+        return DFTEstimator(config.dft_thresh)
+    if config.estimator == "mean":
+        return MeanEstimator()
+    return LastValueEstimator()
+
+
+def run_scenario(
+    config: ScenarioConfig,
+    *,
+    storage_factory=None,
+    placement: str = "level",
+) -> ScenarioResult:
+    """Run one single-node scenario end to end (deterministic per seed).
+
+    ``storage_factory(sim) -> TieredStorage`` overrides the preset
+    hierarchy (used by capacity-pressure experiments); ``placement``
+    selects the staging strategy (see :func:`stage_dataset`).
+    """
+    app = make_app(config.app)
+    original, ladder = build_ladder_for_app(
+        app,
+        grid_shape=config.grid_shape,
+        decimation_ratio=config.decimation_ratio,
+        metric=config.metric,
+        bounds=config.ladder_bounds,
+        seed=config.seed,
+    )
+
+    sim = Simulation()
+    if storage_factory is not None:
+        storage = storage_factory(sim)
+    elif config.tiers == "three-tier":
+        storage = TieredStorage.three_tier_testbed(sim)
+    else:
+        storage = TieredStorage.two_tier_testbed(sim)
+    runtime = ContainerRuntime(sim)
+    dataset = stage_dataset(
+        f"{config.app}-data",
+        ladder,
+        storage,
+        size_scale=config.size_scale,
+        placement=placement,
+    )
+
+    launch_noise(
+        runtime,
+        storage.slowest,
+        config.noise,
+        seed=config.seed + 1,
+        phase_jitter=config.noise_phase_jitter,
+        period_jitter=config.noise_period_jitter,
+    )
+
+    if config.policy == "storage-only":
+        weight_fn = make_weight_function(ladder, use_priority=False, use_accuracy=False)
+    elif config.policy == "cross-layer":
+        weight_fn = make_weight_function(
+            ladder,
+            use_priority=config.weight_use_priority,
+            use_accuracy=config.weight_use_accuracy,
+        )
+    else:
+        weight_fn = None
+    policy = make_policy(
+        config.policy, weight_fn, weight_cardinality=config.weight_cardinality
+    )
+
+    abplot = AugmentationBandwidthPlot(config.bw_low, config.bw_high)
+    if config.error_control:
+        prescribed = config.prescribed_bound
+    else:
+        # No error control: nothing is mandated; retrieval is purely
+        # estimate-driven (Fig. 8's configuration).
+        prescribed = ladder.base_error
+    controller = TangoController(
+        ladder,
+        policy,
+        abplot,
+        prescribed_bound=prescribed,
+        priority=config.priority,
+        estimator=_make_estimator(config),
+        estimation_interval=config.estimation_interval,
+    )
+
+    analytics = runtime.create("analytics")
+    driver = AnalyticsDriver(
+        analytics,
+        dataset,
+        controller,
+        period=config.period,
+        max_steps=config.max_steps,
+    )
+    proc = sim.process(driver.workload())
+    analytics.attach(proc)
+
+    horizon = config.max_steps * config.period + 600.0
+    while proc.is_alive and sim.now < horizon:
+        sim.run(until=min(sim.now + config.period, horizon))
+    runtime.stop_all()
+
+    return ScenarioResult(
+        config=config,
+        records=list(driver.records),
+        ladder=ladder,
+        dataset=dataset,
+        app=app,
+        original=original,
+        weight_history=list(analytics.cgroup.weight_history),
+        final_time=sim.now,
+    )

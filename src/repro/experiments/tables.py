@@ -1,0 +1,82 @@
+"""The paper's survey tables (Table I, Table II) and the noise config
+(Table IV), reproduced as data so the benches can print them verbatim."""
+
+from __future__ import annotations
+
+from repro.experiments.report import format_table
+from repro.util.units import MiB
+from repro.workloads.noise import TABLE_IV_NOISE
+
+__all__ = ["TABLE_I", "TABLE_II", "table1_text", "table2_text", "table4_text"]
+
+#: Table I — QoS in HPC file systems.
+TABLE_I = [
+    # (file system, per-app control, runtime adjust, QoS mechanism, scheduling)
+    ("Lustre (>2.6)", False, False, "Throttling", "Token bucket filter"),
+    (
+        "Spectrum Scale (5.0.4)",
+        False,
+        False,
+        "Throttling for two QoS classes per storage pool",
+        "Unknown",
+    ),
+    ("Ceph (13.2.6)", False, False, "Throttling", "dmclock"),
+    ("OrangeFS (2.9.7)", False, False, "None", "None"),
+    (
+        "Ext4 with cgroups",
+        True,
+        True,
+        "Proportional weight, throttling",
+        "Completely fair scheduling",
+    ),
+]
+
+#: Table II — comparison with existing methods.
+TABLE_II = [
+    # (work, storage layer, app layer, technique)
+    ("[18], [19]", True, False, "Traffic re-routing and throttling based upon queue length"),
+    ("[17]", False, True, "Explicit application coordination through new APIs"),
+    ("[26]", True, False, "Randomized I/O scheduling"),
+    ("[3]", False, True, "Interference estimation and adaptive data retrieval"),
+    ("[2]", False, True, "Data retrieval under no interference"),
+    (
+        "Tango",
+        True,
+        True,
+        "Cross-layer coordination involving storage- and application-layer adaptivity",
+    ),
+]
+
+
+def _check(flag: bool) -> str:
+    return "yes" if flag else "no"
+
+
+def table1_text() -> str:
+    rows = [(fs, _check(a), _check(r), qos, sched) for fs, a, r, qos, sched in TABLE_I]
+    return format_table(
+        ["File system", "Per-app control", "Runtime adjust", "QoS mechanism", "Scheduling"],
+        rows,
+        title="Table I: QoS in HPC file systems",
+    )
+
+
+def table2_text() -> str:
+    rows = [(w, _check(s), _check(a), t) for w, s, a, t in TABLE_II]
+    return format_table(
+        ["Work", "Storage layer", "App layer", "Technique"],
+        rows,
+        title="Table II: Comparison with existing methods",
+    )
+
+
+def table4_text() -> str:
+    rows = [
+        (spec.name, f"{spec.period:.0f} secs", f"{spec.checkpoint_bytes // MiB} MB")
+        for spec in TABLE_IV_NOISE
+    ]
+    return format_table(
+        ["Noise", "Period", "Checkpoint size"],
+        rows,
+        title="Table IV: Noise injected to HDD",
+    )

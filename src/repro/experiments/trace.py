@@ -1,0 +1,94 @@
+"""Trace export: per-step records as CSV or JSON for offline plotting.
+
+The paper's figures are time series and bar charts; this module dumps the
+exact per-step data behind them so any plotting tool can regenerate the
+visuals without re-running the simulation.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+from typing import Iterable
+
+from repro.experiments.runner import ScenarioResult
+from repro.workloads.analytics import StepRecord
+
+__all__ = ["records_to_rows", "write_csv", "to_csv_text", "to_json_text", "scenario_summary"]
+
+FIELDS = (
+    "step",
+    "started_at",
+    "io_time",
+    "io_bytes",
+    "target_rung",
+    "prescribed_rung",
+    "predicted_bw",
+    "measured_bw",
+    "weights",
+    "probe_used",
+    "read_errors",
+    "base_time",
+    "bucket_times",
+)
+
+
+def records_to_rows(records: Iterable[StepRecord]) -> list[dict]:
+    """Flatten step records into JSON/CSV-friendly dictionaries."""
+    rows = []
+    for r in records:
+        rows.append(
+            {
+                "step": r.step,
+                "started_at": r.started_at,
+                "io_time": r.io_time,
+                "io_bytes": r.io_bytes,
+                "target_rung": r.target_rung,
+                "prescribed_rung": r.prescribed_rung,
+                "predicted_bw": r.predicted_bw,
+                "measured_bw": r.measured_bw,
+                "weights": ";".join(str(w) for w in r.weights),
+                "probe_used": r.probe_used,
+                "read_errors": r.read_errors,
+                "base_time": r.base_time,
+                "bucket_times": ";".join(f"{t:.6f}" for t in r.bucket_times),
+            }
+        )
+    return rows
+
+
+def to_csv_text(records: Iterable[StepRecord]) -> str:
+    """Render step records as CSV text (header + one row per step)."""
+    buf = io.StringIO()
+    writer = csv.DictWriter(buf, fieldnames=FIELDS)
+    writer.writeheader()
+    writer.writerows(records_to_rows(records))
+    return buf.getvalue()
+
+
+def write_csv(records: Iterable[StepRecord], path: str) -> None:
+    """Write step records to a CSV file."""
+    with open(path, "w", newline="") as f:
+        f.write(to_csv_text(records))
+
+
+def to_json_text(records: Iterable[StepRecord], *, indent: int | None = None) -> str:
+    """Render step records as a JSON array."""
+    return json.dumps(records_to_rows(records), indent=indent)
+
+
+def scenario_summary(result: ScenarioResult) -> dict:
+    """A compact machine-readable summary of a scenario run."""
+    return {
+        "app": result.config.app,
+        "policy": result.config.policy,
+        "seed": result.config.seed,
+        "steps": len(result.records),
+        "mean_io_time": result.mean_io_time,
+        "std_io_time": result.std_io_time,
+        "mean_target_rung": result.mean_target_rung,
+        "mean_outcome_error": result.mean_outcome_error,
+        "weight_adjustments": len(result.weight_history),
+        "final_time": result.final_time,
+    }

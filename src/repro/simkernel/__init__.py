@@ -1,0 +1,23 @@
+"""A small discrete-event simulation kernel.
+
+Provides the event loop, one-shot events, timeouts, and generator-based
+processes that the storage/container/workload substrates are built on.
+The design follows the classic event-heap pattern (cancellable scheduled
+callbacks, deterministic FIFO tie-breaking at equal timestamps) so that
+every experiment is bit-reproducible for a given seed.
+"""
+
+from repro.simkernel.sim import Simulation, SimError
+from repro.simkernel.events import Event, EventAlreadyTriggered, ScheduledCallback
+from repro.simkernel.process import Process, Timeout, Interrupt
+
+__all__ = [
+    "Simulation",
+    "SimError",
+    "Event",
+    "EventAlreadyTriggered",
+    "ScheduledCallback",
+    "Process",
+    "Timeout",
+    "Interrupt",
+]

@@ -1,0 +1,103 @@
+"""One-shot events and cancellable scheduled callbacks."""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+__all__ = ["Event", "EventAlreadyTriggered", "ScheduledCallback"]
+
+
+class EventAlreadyTriggered(RuntimeError):
+    """Raised when succeeding or failing an event twice."""
+
+
+class ScheduledCallback:
+    """A heap entry: callback at a simulated time, cancellable in O(1).
+
+    Cancellation marks the entry; the event loop skips cancelled entries
+    when they surface, avoiding O(n) heap surgery.
+    """
+
+    __slots__ = ("time", "seq", "callback", "args", "cancelled")
+
+    def __init__(self, time: float, seq: int, callback: Callable[..., None], args: tuple):
+        self.time = time
+        self.seq = seq
+        self.callback = callback
+        self.args = args
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        self.cancelled = True
+
+    def __lt__(self, other: "ScheduledCallback") -> bool:
+        # FIFO within identical timestamps keeps runs deterministic.
+        return (self.time, self.seq) < (other.time, other.seq)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = " cancelled" if self.cancelled else ""
+        return f"<ScheduledCallback t={self.time:.6f}{state} {self.callback!r}>"
+
+
+class Event:
+    """A one-shot event that processes can wait on.
+
+    An event is *triggered* exactly once via :meth:`succeed` (or
+    :meth:`fail` with an exception); callbacks registered before the
+    trigger run at trigger time, callbacks registered after run
+    immediately.
+    """
+
+    __slots__ = ("sim", "_callbacks", "_triggered", "value", "_exception")
+
+    def __init__(self, sim: "Simulation") -> None:  # noqa: F821 - circular hint
+        self.sim = sim
+        self._callbacks: list[Callable[[Event], None]] = []
+        self._triggered = False
+        self.value: Any = None
+        self._exception: BaseException | None = None
+
+    @property
+    def triggered(self) -> bool:
+        return self._triggered
+
+    @property
+    def ok(self) -> bool:
+        """True when the event succeeded (only meaningful once triggered)."""
+        return self._triggered and self._exception is None
+
+    @property
+    def exception(self) -> BaseException | None:
+        return self._exception
+
+    def add_callback(self, fn: Callable[["Event"], None]) -> None:
+        if self._triggered:
+            fn(self)
+        else:
+            self._callbacks.append(fn)
+
+    def succeed(self, value: Any = None) -> "Event":
+        if self._triggered:
+            raise EventAlreadyTriggered(f"{self!r} was already triggered")
+        self._triggered = True
+        self.value = value
+        callbacks, self._callbacks = self._callbacks, []
+        for fn in callbacks:
+            fn(self)
+        return self
+
+    def fail(self, exception: BaseException) -> "Event":
+        if self._triggered:
+            raise EventAlreadyTriggered(f"{self!r} was already triggered")
+        if not isinstance(exception, BaseException):
+            raise TypeError(f"fail() requires an exception, got {exception!r}")
+        self._triggered = True
+        self._exception = exception
+        callbacks, self._callbacks = self._callbacks, []
+        for fn in callbacks:
+            fn(self)
+        return self
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "triggered" if self._triggered else "pending"
+        return f"<Event {state} at {id(self):#x}>"

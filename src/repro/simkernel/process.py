@@ -1,0 +1,130 @@
+"""Generator-based simulation processes.
+
+A process is a Python generator that yields the things it waits on:
+
+* ``Timeout(delay)`` — resume after ``delay`` simulated seconds;
+* an :class:`~repro.simkernel.events.Event` — resume when it triggers
+  (the event's value is sent back into the generator; a failed event
+  raises its exception inside the generator);
+* another :class:`Process` — resume when that process terminates.
+
+This mirrors the simpy programming model, which keeps workload code
+(noise containers, analytics loops) readable as straight-line coroutines.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator
+
+from repro.simkernel.events import Event
+
+__all__ = ["Process", "Timeout", "Interrupt"]
+
+
+class Timeout:
+    """Yieldable: resume the process after ``delay`` simulated seconds."""
+
+    __slots__ = ("delay", "value")
+
+    def __init__(self, delay: float, value: Any = None):
+        if delay < 0:
+            raise ValueError(f"Timeout delay must be >= 0, got {delay}")
+        self.delay = delay
+        self.value = value
+
+
+class Interrupt(Exception):
+    """Raised inside a process when it is interrupted."""
+
+    def __init__(self, cause: Any = None):
+        super().__init__(cause)
+        self.cause = cause
+
+
+class Process:
+    """Drives a generator through the event loop until it terminates.
+
+    The process itself is waitable: other processes may yield it and will
+    resume when it finishes; its :attr:`result` holds the generator's
+    return value.
+    """
+
+    def __init__(self, sim, generator: Generator) -> None:
+        if not hasattr(generator, "send"):
+            raise TypeError(f"Process requires a generator, got {generator!r}")
+        self.sim = sim
+        self._gen = generator
+        self._done_event = Event(sim)
+        self.result: Any = None
+        self._waiting_handle = None
+        # Kick off on the next event-loop iteration at the current time so
+        # process creation order does not interleave with running callbacks.
+        sim.schedule(0.0, self._resume, None, None)
+
+    # -- public API -------------------------------------------------------
+
+    @property
+    def is_alive(self) -> bool:
+        return not self._done_event.triggered
+
+    @property
+    def done_event(self) -> Event:
+        return self._done_event
+
+    def add_callback(self, fn) -> None:
+        """Waitable protocol: delegate to the completion event."""
+        self._done_event.add_callback(fn)
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at the current time."""
+        if not self.is_alive:
+            raise RuntimeError("cannot interrupt a terminated process")
+        if self._waiting_handle is not None:
+            self._waiting_handle.cancel()
+            self._waiting_handle = None
+        self.sim.schedule(0.0, self._resume, None, Interrupt(cause))
+
+    # -- engine ------------------------------------------------------------
+
+    def _resume(self, send_value: Any, throw_exc: BaseException | None) -> None:
+        if self._done_event.triggered:
+            return
+        try:
+            if throw_exc is not None:
+                target = self._gen.throw(throw_exc)
+            else:
+                target = self._gen.send(send_value)
+        except StopIteration as stop:
+            self.result = stop.value
+            self._done_event.succeed(stop.value)
+            return
+        except Interrupt:
+            # Process chose not to handle its interruption: treat as exit.
+            self.result = None
+            self._done_event.succeed(None)
+            return
+        self._wait_on(target)
+
+    def _wait_on(self, target: Any) -> None:
+        if isinstance(target, Timeout):
+            self._waiting_handle = self.sim.schedule(
+                target.delay, self._resume, target.value, None
+            )
+        elif isinstance(target, Process):
+            target._done_event.add_callback(self._on_event)
+        elif isinstance(target, Event):
+            target.add_callback(self._on_event)
+        else:
+            exc = TypeError(f"process yielded unsupported object {target!r}")
+            self.sim.schedule(0.0, self._resume, None, exc)
+
+    def _on_event(self, event: Event) -> None:
+        self._waiting_handle = None
+        if event.exception is not None:
+            self.sim.schedule(0.0, self._resume, None, event.exception)
+        else:
+            self.sim.schedule(0.0, self._resume, event.value, None)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "alive" if self.is_alive else "done"
+        return f"<Process {state} {self._gen!r}>"

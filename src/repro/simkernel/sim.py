@@ -1,0 +1,113 @@
+"""The event loop."""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Generator
+
+from repro.simkernel.events import Event, ScheduledCallback
+
+__all__ = ["Simulation", "SimError"]
+
+
+class SimError(RuntimeError):
+    """Raised for simulation-kernel usage errors."""
+
+
+class Simulation:
+    """A discrete-event simulation: a clock plus a heap of callbacks.
+
+    Time is a float in seconds.  ``schedule`` returns a cancellable handle.
+    Generator-based processes are started with :meth:`process`; see
+    :class:`repro.simkernel.process.Process`.
+    """
+
+    def __init__(self) -> None:
+        self._now = 0.0
+        self._heap: list[ScheduledCallback] = []
+        self._seq = 0
+
+    @property
+    def now(self) -> float:
+        return self._now
+
+    # -- scheduling -----------------------------------------------------
+
+    def schedule(
+        self, delay: float, callback: Callable[..., None], *args: Any
+    ) -> ScheduledCallback:
+        """Run ``callback(*args)`` after ``delay`` simulated seconds."""
+        if delay < 0:
+            raise SimError(f"cannot schedule into the past (delay={delay})")
+        return self.schedule_at(self._now + delay, callback, *args)
+
+    def schedule_at(
+        self, time: float, callback: Callable[..., None], *args: Any
+    ) -> ScheduledCallback:
+        """Run ``callback(*args)`` at absolute simulated ``time``."""
+        if time < self._now:
+            raise SimError(f"cannot schedule at {time} < now ({self._now})")
+        entry = ScheduledCallback(time, self._seq, callback, args)
+        self._seq += 1
+        heapq.heappush(self._heap, entry)
+        return entry
+
+    def event(self) -> Event:
+        """Create a fresh one-shot event bound to this simulation."""
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Event:
+        """An event that succeeds ``delay`` seconds from now."""
+        ev = self.event()
+        self.schedule(delay, ev.succeed, value)
+        return ev
+
+    def process(self, generator: Generator) -> "Process":  # noqa: F821
+        """Start a generator-based process; returns its Process handle."""
+        from repro.simkernel.process import Process
+
+        return Process(self, generator)
+
+    # -- running -----------------------------------------------------------
+
+    @property
+    def pending_count(self) -> int:
+        """Number of live (non-cancelled) scheduled callbacks."""
+        return sum(1 for e in self._heap if not e.cancelled)
+
+    def peek(self) -> float:
+        """Time of the next live callback, or ``inf`` when idle."""
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)
+        return self._heap[0].time if self._heap else float("inf")
+
+    def step(self) -> bool:
+        """Execute the next callback.  Returns False when nothing is left."""
+        while self._heap:
+            entry = heapq.heappop(self._heap)
+            if entry.cancelled:
+                continue
+            self._now = entry.time
+            entry.callback(*entry.args)
+            return True
+        return False
+
+    def run(self, until: float | None = None) -> float:
+        """Run until the heap drains or the clock would pass ``until``.
+
+        When ``until`` is given, the clock is advanced to exactly ``until``
+        on return (even if the last event fired earlier), mirroring the
+        usual DES convention.
+        """
+        if until is not None and until < self._now:
+            raise SimError(f"until={until} is in the past (now={self._now})")
+        while True:
+            nxt = self.peek()
+            if nxt == float("inf"):
+                break
+            if until is not None and nxt > until:
+                break
+            self.step()
+        if until is not None:
+            self._now = max(self._now, until)
+        return self._now

@@ -1,0 +1,119 @@
+"""Proportional-weight bandwidth allocation (the blkio CFQ model).
+
+The kernel's blkio controller shares a device's bandwidth among active
+cgroups proportionally to their weights (range 100–1000), optionally
+capped by ``blkio.throttle.*_bps_device`` limits.  We reproduce that
+allocation with a **progressive-filling** fluid model:
+
+* each active stream demands capacity proportional to its weight;
+* a stream may be capped (throttle, or its direction's peak rate);
+* capped streams release their surplus, which is re-shared among the
+  remaining streams by weight, until all capacity is assigned or every
+  stream is capped.
+
+Mixed read/write contention is handled in *normalised utilisation* space:
+a stream running at rate ``r`` on a device whose peak for its direction is
+``bw_d`` consumes ``r / bw_d`` of the device; the scheduler assigns
+utilisations summing to ≤ 1.  This reproduces the paper's arithmetic —
+e.g. two weight-100 streams on a 200 MB/s device get 100 MB/s each, and
+raising one weight to 200 shifts the split to 133/67 MB/s.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+__all__ = ["StreamDemand", "compute_rates", "MAX_FLOOR_UTILISATION"]
+
+#: Writeback floors may reserve at most this fraction of the device:
+#: kernel dirty throttling keeps flushing, but never to the point of
+#: absolute reader starvation.
+MAX_FLOOR_UTILISATION = 0.8
+
+
+@dataclass(frozen=True)
+class StreamDemand:
+    """One active stream's allocation inputs.
+
+    ``peak_rate`` is the device's peak bandwidth for the stream's direction
+    (bytes/s); ``cap`` an optional throttle limit (bytes/s, ``inf`` when
+    unthrottled); ``floor`` a guaranteed minimum rate (bytes/s) reserved
+    before weight-proportional sharing — the dirty-page writeback pressure
+    that no reader weight can squeeze out (floors are scaled down
+    proportionally if they oversubscribe the device).
+    """
+
+    key: int
+    weight: float
+    peak_rate: float
+    cap: float = math.inf
+    floor: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.weight <= 0 or not math.isfinite(self.weight):
+            raise ValueError(f"weight must be finite and > 0, got {self.weight!r}")
+        if self.peak_rate <= 0 or not math.isfinite(self.peak_rate):
+            raise ValueError(f"peak_rate must be finite and > 0, got {self.peak_rate!r}")
+        if self.cap <= 0:
+            raise ValueError(f"cap must be > 0, got {self.cap!r}")
+        if self.floor < 0 or not math.isfinite(self.floor):
+            raise ValueError(f"floor must be finite and >= 0, got {self.floor!r}")
+
+
+def compute_rates(demands: list[StreamDemand]) -> dict[int, float]:
+    """Assign a service rate (bytes/s) to every stream.
+
+    Progressive filling over normalised utilisation: weights share the
+    single unit of device utilisation; a stream's utilisation cap is
+    ``min(cap, peak_rate) / peak_rate``.  Runs in O(n²) worst case (one
+    stream saturates per round), which is negligible at realistic stream
+    counts.
+    """
+    if not demands:
+        return {}
+    keys = [d.key for d in demands]
+    if len(set(keys)) != len(keys):
+        raise ValueError("stream keys must be unique")
+
+    # Phase 0: reserve floors (in utilisation space), scaling down
+    # proportionally when they oversubscribe the reservable fraction.
+    floor_utils = {
+        d.key: min(d.floor, min(d.cap, d.peak_rate)) / d.peak_rate for d in demands
+    }
+    total_floor = sum(floor_utils.values())
+    if total_floor > MAX_FLOOR_UTILISATION:
+        scale = MAX_FLOOR_UTILISATION / total_floor
+        floor_utils = {k: u * scale for k, u in floor_utils.items()}
+        total_floor = MAX_FLOOR_UTILISATION
+
+    # Phase 1: progressive filling of the remaining utilisation by weight.
+    # Each stream's additional utilisation (on top of its floor) is capped
+    # by its throttle/peak headroom.
+    extra: dict[int, float] = {d.key: 0.0 for d in demands}
+    active = list(demands)
+    remaining_util = 1.0 - total_floor
+    while active and remaining_util > 1e-15:
+        total_w = sum(d.weight for d in active)
+        capped = []
+        uncapped = []
+        for d in active:
+            share = remaining_util * d.weight / total_w
+            headroom = min(d.cap, d.peak_rate) / d.peak_rate - floor_utils[d.key]
+            headroom = max(headroom, 0.0)
+            if headroom <= share * (1 + 1e-12):
+                capped.append((d, headroom))
+            else:
+                uncapped.append(d)
+        if not capped:
+            for d in active:
+                extra[d.key] = remaining_util * d.weight / total_w
+            break
+        for d, headroom in capped:
+            extra[d.key] = headroom
+            remaining_util -= headroom
+        remaining_util = max(remaining_util, 0.0)
+        active = uncapped
+    return {
+        d.key: (floor_utils[d.key] + extra[d.key]) * d.peak_rate for d in demands
+    }

@@ -1,0 +1,152 @@
+"""Extent-based filesystem layer (the ext4 stand-in).
+
+Files are modelled as (size, extent count) pairs on a device.  The extent
+count is what matters for performance: each discontiguous extent costs one
+device seek when the file is read.  Sequentially-staged files (the
+shuffled, tagged augmentation buckets — Section III-B step 3) get a single
+extent per ``extent_size`` bytes; fragmented files get many more.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.simkernel import Event
+from repro.storage.cgroup import BlkioCgroup
+from repro.storage.device import BlockDevice
+from repro.util.units import MiB
+
+__all__ = ["FileObject", "Filesystem"]
+
+#: Largest contiguous run ext4's multiblock allocator typically produces.
+DEFAULT_EXTENT_SIZE = 128 * MiB
+
+
+@dataclass(frozen=True)
+class FileObject:
+    """An allocated file: a name, a size, and its on-medium extent count.
+
+    ``content`` optionally carries the file's actual bytes (used by
+    materialized staging, where reconstruction happens from what was
+    physically retrieved).  The simulated ``size`` may differ from
+    ``len(content)`` — size drives timing (it may be scaled to the
+    paper's dataset scale), content drives correctness.
+    """
+
+    name: str
+    size: int
+    extents: int
+    content: bytes | None = None
+
+    def __post_init__(self) -> None:
+        if self.size < 0:
+            raise ValueError(f"file size must be >= 0, got {self.size}")
+        if self.extents < 1:
+            raise ValueError(f"extent count must be >= 1, got {self.extents}")
+
+
+class Filesystem:
+    """A filesystem on one block device, tracking capacity and extents."""
+
+    def __init__(self, device: BlockDevice, *, extent_size: int = DEFAULT_EXTENT_SIZE) -> None:
+        if extent_size <= 0:
+            raise ValueError(f"extent_size must be > 0, got {extent_size}")
+        self.device = device
+        self.extent_size = int(extent_size)
+        self._files: dict[str, FileObject] = {}
+        self._used = 0
+
+    @property
+    def used_bytes(self) -> int:
+        return self._used
+
+    @property
+    def free_bytes(self) -> int:
+        return int(self.device.spec.capacity) - self._used
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._files
+
+    def get(self, name: str) -> FileObject:
+        try:
+            return self._files[name]
+        except KeyError:
+            raise FileNotFoundError(f"no file named {name!r} on {self.device.name}") from None
+
+    def allocate(
+        self,
+        name: str,
+        size: int,
+        *,
+        contiguous: bool = True,
+        content: bytes | None = None,
+    ) -> FileObject:
+        """Allocate a file without simulating the write traffic.
+
+        Contiguous allocation produces ``ceil(size / extent_size)`` extents
+        (the best ext4 can do); non-contiguous allocation models a
+        fragmented file with an extent per 4 MiB run.  ``content``
+        attaches actual bytes (see :class:`FileObject`).
+        """
+        if name in self._files:
+            raise FileExistsError(f"file {name!r} already exists on {self.device.name}")
+        if size < 0:
+            raise ValueError(f"size must be >= 0, got {size}")
+        if size > self.free_bytes:
+            raise OSError(
+                f"device {self.device.name} full: need {size} bytes, "
+                f"{self.free_bytes} free"
+            )
+        run = self.extent_size if contiguous else 4 * MiB
+        extents = max(1, math.ceil(size / run))
+        f = FileObject(name=name, size=int(size), extents=extents, content=content)
+        self._files[name] = f
+        self._used += f.size
+        return f
+
+    def read_content(self, name: str) -> bytes:
+        """The actual bytes of a materialized file.
+
+        Metadata access only — the I/O *timing* comes from :meth:`read`.
+        Raises for files allocated without content.
+        """
+        f = self.get(name)
+        if f.content is None:
+            raise ValueError(f"file {name!r} was not materialized with content")
+        return f.content
+
+    def delete(self, name: str) -> None:
+        f = self.get(name)
+        del self._files[name]
+        self._used -= f.size
+
+    # -- I/O -------------------------------------------------------------
+
+    def read(
+        self, cgroup: BlkioCgroup, name: str, *, nbytes: int | None = None
+    ) -> Event:
+        """Read a file (or its first ``nbytes``) through the device.
+
+        Partial reads touch proportionally fewer extents — the bucket
+        layout keeps each error-bound range contiguous, so reading a
+        prefix is cheap.
+        """
+        f = self.get(name)
+        if nbytes is None:
+            nbytes = f.size
+        if not 0 <= nbytes <= f.size:
+            raise ValueError(f"nbytes must be in [0, {f.size}], got {nbytes}")
+        frac = (nbytes / f.size) if f.size else 0.0
+        extents = max(1, math.ceil(f.extents * frac))
+        return self.device.submit(cgroup, int(nbytes), "read", extents=extents)
+
+    def write(self, cgroup: BlkioCgroup, name: str, size: int, *, contiguous: bool = True) -> Event:
+        """Allocate and write a file, returning the write-completion event."""
+        f = self.allocate(name, size, contiguous=contiguous)
+        return self.device.submit(cgroup, f.size, "write", extents=f.extents)
+
+    def overwrite(self, cgroup: BlkioCgroup, name: str) -> Event:
+        """Rewrite an existing file in place (checkpoint-style traffic)."""
+        f = self.get(name)
+        return self.device.submit(cgroup, f.size, "write", extents=f.extents)

@@ -1,0 +1,87 @@
+"""Device utilisation sampling: the time series behind Fig. 1 / Fig. 7.
+
+A :class:`DeviceSampler` polls a device on a fixed cadence and records the
+instantaneous aggregate service rate per direction plus the active stream
+count — the "instantaneous bandwidth" view that complements the per-step
+"average I/O performance" the analytics itself measures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.simkernel import Simulation
+from repro.storage.device import BlockDevice
+from repro.util.validation import check_positive
+
+__all__ = ["DeviceSample", "DeviceSampler"]
+
+
+@dataclass(frozen=True)
+class DeviceSample:
+    time: float
+    read_rate: float
+    write_rate: float
+    active_streams: int
+
+    @property
+    def total_rate(self) -> float:
+        return self.read_rate + self.write_rate
+
+
+@dataclass
+class DeviceSampler:
+    """Samples one device every ``interval`` simulated seconds."""
+
+    sim: Simulation
+    device: BlockDevice
+    interval: float = 5.0
+    samples: list[DeviceSample] = field(default_factory=list)
+    _running: bool = False
+
+    def start(self) -> "DeviceSampler":
+        check_positive("interval", self.interval)
+        if self._running:
+            raise RuntimeError("sampler already started")
+        self._running = True
+        self._tick()
+        return self
+
+    def _tick(self) -> None:
+        rates = {"read": 0.0, "write": 0.0}
+        for stream in self.device._streams.values():
+            rates[stream.direction] += stream.rate
+        self.samples.append(
+            DeviceSample(
+                time=self.sim.now,
+                read_rate=rates["read"],
+                write_rate=rates["write"],
+                active_streams=self.device.active_stream_count,
+            )
+        )
+        self.sim.schedule(self.interval, self._tick)
+
+    # -- analysis ---------------------------------------------------------
+
+    def times(self) -> np.ndarray:
+        return np.asarray([s.time for s in self.samples])
+
+    def total_rates(self) -> np.ndarray:
+        return np.asarray([s.total_rate for s in self.samples])
+
+    def utilisation(self, peak_bps: float) -> np.ndarray:
+        """Total service rate as a fraction of a nominal peak."""
+        check_positive("peak_bps", peak_bps)
+        return self.total_rates() / peak_bps
+
+    def busy_fraction(self) -> float:
+        """Fraction of samples with at least one active stream."""
+        if not self.samples:
+            return 0.0
+        busy = sum(1 for s in self.samples if s.active_streams > 0)
+        return busy / len(self.samples)
+
+    def peak_concurrency(self) -> int:
+        return max((s.active_streams for s in self.samples), default=0)

@@ -1,0 +1,38 @@
+"""Shared utilities: seeded RNG helpers, unit conversions, validation."""
+
+from repro.util.rng import make_rng, spawn_rngs
+from repro.util.units import (
+    KiB,
+    MiB,
+    GiB,
+    TiB,
+    mb_per_s,
+    bytes_to_mb,
+    mb_to_bytes,
+    format_bytes,
+    format_rate,
+)
+from repro.util.validation import (
+    check_positive,
+    check_non_negative,
+    check_in_range,
+    check_probability,
+)
+
+__all__ = [
+    "make_rng",
+    "spawn_rngs",
+    "KiB",
+    "MiB",
+    "GiB",
+    "TiB",
+    "mb_per_s",
+    "bytes_to_mb",
+    "mb_to_bytes",
+    "format_bytes",
+    "format_rate",
+    "check_positive",
+    "check_non_negative",
+    "check_in_range",
+    "check_probability",
+]

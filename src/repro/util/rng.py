@@ -1,0 +1,43 @@
+"""Deterministic random-number helpers.
+
+Every stochastic component in the simulator takes an explicit
+``numpy.random.Generator`` so that experiments are reproducible and
+replications can be driven by spawned, statistically independent streams.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+__all__ = ["make_rng", "spawn_rngs"]
+
+
+def make_rng(seed: int | np.random.Generator | None = 0) -> np.random.Generator:
+    """Return a :class:`numpy.random.Generator`.
+
+    Accepts an integer seed, an existing generator (returned unchanged), or
+    ``None`` for OS entropy.  Centralising this makes "seed or generator"
+    arguments uniform across the code base.
+    """
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)
+
+
+def spawn_rngs(seed: int | np.random.Generator | None, n: int) -> Sequence[np.random.Generator]:
+    """Spawn ``n`` independent child generators from one seed.
+
+    Uses ``SeedSequence.spawn`` so children are statistically independent —
+    the correct way to seed parallel replications (one per noise container,
+    one per replication, ...).
+    """
+    if n < 0:
+        raise ValueError(f"n must be >= 0, got {n}")
+    if isinstance(seed, np.random.Generator):
+        # Derive a fresh seed sequence from the generator's bit stream.
+        root = np.random.SeedSequence(int(seed.integers(0, 2**63 - 1)))
+    else:
+        root = np.random.SeedSequence(seed)
+    return [np.random.default_rng(s) for s in root.spawn(n)]

@@ -1,0 +1,60 @@
+"""Byte and bandwidth unit helpers.
+
+The simulator's canonical units are **bytes** for sizes, **seconds** for
+time, and **bytes/second** for rates.  The paper quotes MB/s (decimal
+megabytes, as storage vendors and the paper's ``BW_low = 30 MB/s`` /
+``BW_high = 120 MB/s`` thresholds do), so conversion helpers are provided
+for both binary (KiB/MiB/...) and decimal (MB) conventions.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "KiB",
+    "MiB",
+    "GiB",
+    "TiB",
+    "MB",
+    "mb_per_s",
+    "bytes_to_mb",
+    "mb_to_bytes",
+    "format_bytes",
+    "format_rate",
+]
+
+KiB = 1024
+MiB = 1024**2
+GiB = 1024**3
+TiB = 1024**4
+
+#: Decimal megabyte, the unit the paper uses for bandwidth (MB/s).
+MB = 10**6
+
+
+def mb_per_s(x: float) -> float:
+    """Convert a rate in MB/s (decimal) to bytes/second."""
+    return float(x) * MB
+
+
+def bytes_to_mb(n: float) -> float:
+    """Convert bytes to decimal megabytes."""
+    return float(n) / MB
+
+
+def mb_to_bytes(x: float) -> float:
+    """Convert decimal megabytes to bytes."""
+    return float(x) * MB
+
+
+def format_bytes(n: float) -> str:
+    """Human-readable byte count using binary prefixes."""
+    n = float(n)
+    for unit, factor in (("TiB", TiB), ("GiB", GiB), ("MiB", MiB), ("KiB", KiB)):
+        if abs(n) >= factor:
+            return f"{n / factor:.2f} {unit}"
+    return f"{n:.0f} B"
+
+
+def format_rate(bytes_per_s: float) -> str:
+    """Human-readable rate in the paper's MB/s convention."""
+    return f"{bytes_to_mb(bytes_per_s):.1f} MB/s"

@@ -1,0 +1,233 @@
+"""The adaptive analytics driver — Algorithm 1 against the simulated node.
+
+Each analysis step:
+
+1. asks the :class:`~repro.core.controller.TangoController` for a decision
+   (estimation + abplot + weight plan — lines 2–8 of Algorithm 1);
+2. retrieves the base representation from the fastest tier, then each
+   augmentation bucket in order, applying the bucket's blkio weight just
+   before its retrieval (lines 9–13);
+3. measures the achieved capacity-tier bandwidth and feeds it back to the
+   controller's estimator.  When a step's plan shipped no capacity-tier
+   I/O, a small probe read keeps the interference signal alive — the paper
+   observes the analytics' own I/O performance, which implicitly always
+   touches the shared tier; the probe makes that observation explicit for
+   steps that adapted it away.
+
+Steps are periodic: the paper's analytics perform I/O every
+``period`` seconds (default 60 s), with the compute phase absorbing
+whatever the I/O phase leaves of the period.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Callable, Generator
+
+from repro.core.controller import TangoController
+from repro.simkernel import Interrupt, Timeout
+from repro.storage.staging import StagedDataset, TimeSeriesDataset
+from repro.util.units import MiB
+from repro.util.validation import check_positive
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.containers import Container
+
+__all__ = ["StepRecord", "AnalyticsDriver"]
+
+#: Size of the interference probe read issued when a step's plan touched
+#: no capacity-tier data (bytes).
+PROBE_BYTES = 8 * MiB
+
+
+@dataclass(frozen=True)
+class StepRecord:
+    """Everything measured about one analysis step."""
+
+    step: int
+    started_at: float
+    io_time: float
+    io_bytes: int
+    target_rung: int
+    prescribed_rung: int
+    predicted_bw: float
+    measured_bw: float
+    weights: tuple[int, ...]
+    probe_used: bool
+
+    #: Read errors survived this step (each costs one retry; a second
+    #: failure skips the object and degrades the step's accuracy).
+    read_errors: int = 0
+    #: Latency attribution: seconds spent retrieving the base and each
+    #: bucket (rung order), for Fig. 13-style breakdowns.
+    base_time: float = 0.0
+    bucket_times: tuple[float, ...] = ()
+
+    @property
+    def effective_bandwidth(self) -> float:
+        if self.io_time <= 0:
+            return float("inf")
+        return self.io_bytes / self.io_time
+
+
+class AnalyticsDriver:
+    """Runs one analytics application adaptively inside a container."""
+
+    def __init__(
+        self,
+        container: "Container",
+        dataset: StagedDataset | TimeSeriesDataset,
+        controller: TangoController,
+        *,
+        period: float = 60.0,
+        max_steps: int = 60,
+        restore_weight: int | None = None,
+        probe_bytes: int = PROBE_BYTES,
+        on_step: Callable[[StepRecord], None] | None = None,
+    ) -> None:
+        check_positive("period", period)
+        if max_steps < 1:
+            raise ValueError(f"max_steps must be >= 1, got {max_steps}")
+        self.container = container
+        self.dataset = dataset
+        self.controller = controller
+        self.period = float(period)
+        self.max_steps = int(max_steps)
+        self.restore_weight = restore_weight
+        self.probe_bytes = int(probe_bytes)
+        self.on_step = on_step
+        self.records: list[StepRecord] = []
+
+    # -- derived metrics ----------------------------------------------------
+
+    @property
+    def mean_io_time(self) -> float:
+        if not self.records:
+            raise RuntimeError("no steps recorded yet")
+        return sum(r.io_time for r in self.records) / len(self.records)
+
+    @property
+    def io_time_std(self) -> float:
+        import numpy as np
+
+        if not self.records:
+            raise RuntimeError("no steps recorded yet")
+        return float(np.std([r.io_time for r in self.records]))
+
+    def io_times(self) -> list[float]:
+        return [r.io_time for r in self.records]
+
+    # -- the workload ------------------------------------------------------
+
+    def _read_with_retry(self, make_event, errors: list[int]) -> Generator:
+        """Yield a read, retrying once on I/O error.
+
+        A transient media error costs one retry; a repeated failure skips
+        the object (the step proceeds at degraded accuracy rather than
+        wedging the analytics).  Returns the IOStats or ``None``.
+        """
+        for attempt in (0, 1):
+            try:
+                stats = yield make_event()
+                return stats
+            except IOError:
+                errors[0] += 1
+        return None
+
+    def workload(self) -> Generator:
+        """Generator to run inside the container (see ContainerRuntime.run)."""
+        sim = self.container.sim
+        cgroup = self.container.cgroup
+        slowest = self.dataset.storage.slowest
+        is_series = isinstance(self.dataset, TimeSeriesDataset)
+        try:
+            for step in range(self.max_steps):
+                step_start = sim.now
+                decision = self.controller.decide(step)
+                plan = decision.plan
+                dataset = self.dataset.for_step(step) if is_series else self.dataset
+
+                io_start = sim.now
+                io_bytes = 0
+                slow_bytes = 0.0
+                slow_time = 0.0
+                errors = [0]
+
+                # Line 1 / base retrieval (fast tier, this step's data).
+                t0 = sim.now
+                stats = yield from self._read_with_retry(
+                    lambda: dataset.read_base(cgroup), errors
+                )
+                base_time = sim.now - t0
+                if stats is not None:
+                    io_bytes += stats.nbytes
+
+                # Lines 9-13: per-bucket weight adjustment + retrieval.
+                weights: list[int] = []
+                bucket_times: list[float] = []
+                for rstep in plan.steps:
+                    if rstep.weight is not None:
+                        self.container.set_blkio_weight(rstep.weight)
+                        weights.append(rstep.weight)
+                    if rstep.bucket.cardinality == 0:
+                        bucket_times.append(0.0)
+                        continue
+                    t0 = sim.now
+                    stats = yield from self._read_with_retry(
+                        lambda r=rstep: dataset.read_bucket(r.bucket.index, cgroup),
+                        errors,
+                    )
+                    bucket_times.append(sim.now - t0)
+                    if stats is None:
+                        continue
+                    io_bytes += stats.nbytes
+                    tier = dataset.tier_of_bucket(rstep.bucket.index)
+                    if tier is slowest:
+                        slow_bytes += stats.nbytes
+                        slow_time += sim.now - t0
+
+                # Interference measurement for the estimator: achieved
+                # bandwidth on the shared capacity tier (probe if unused).
+                probe_used = False
+                if slow_bytes <= 0:
+                    probe_used = True
+                    t0 = sim.now
+                    stats = yield from self._read_with_retry(
+                        lambda: slowest.device.submit(cgroup, self.probe_bytes, "read"),
+                        errors,
+                    )
+                    if stats is not None:
+                        slow_bytes = stats.nbytes
+                        slow_time = sim.now - t0
+                        io_bytes += stats.nbytes
+                measured_bw = slow_bytes / slow_time if slow_time > 0 else 0.0
+
+                if self.restore_weight is not None and weights:
+                    self.container.set_blkio_weight(self.restore_weight)
+
+                io_time = sim.now - io_start
+                self.controller.observe(step, measured_bw)
+                record = StepRecord(
+                    step=step,
+                    started_at=step_start,
+                    io_time=io_time,
+                    io_bytes=io_bytes,
+                    target_rung=plan.target_rung,
+                    prescribed_rung=plan.prescribed_rung,
+                    predicted_bw=decision.predicted_bw,
+                    measured_bw=measured_bw,
+                    weights=tuple(weights),
+                    probe_used=probe_used,
+                    read_errors=errors[0],
+                    base_time=base_time,
+                    bucket_times=tuple(bucket_times),
+                )
+                self.records.append(record)
+                if self.on_step is not None:
+                    self.on_step(record)
+
+                # Compute phase: the remainder of the period.
+                elapsed = sim.now - step_start
+                yield Timeout(max(0.0, self.period - elapsed))
+        except Interrupt:
+            return

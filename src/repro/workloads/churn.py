@@ -1,0 +1,144 @@
+"""Job churn: interfering applications that come and go (Section III-C).
+
+The paper notes that "the storage workload is complex and dynamic since
+applications come and go", which is why the interference estimation is
+re-run periodically.  This module models that churn: checkpointing jobs
+arrive as a Poisson process, run for an exponentially-distributed
+lifetime, and leave — changing the interference pattern the estimator
+must re-learn.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Generator
+
+import numpy as np
+
+from repro.simkernel import Interrupt, Timeout
+from repro.util.rng import make_rng
+from repro.util.units import MiB
+from repro.util.validation import check_positive
+from repro.workloads.noise import NoiseSpec, checkpoint_workload
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.containers import Container, ContainerRuntime
+    from repro.storage.tier import StorageTier
+
+__all__ = ["ChurnSpec", "churn_driver", "launch_churn"]
+
+
+@dataclass(frozen=True)
+class ChurnSpec:
+    """Arrival/lifetime statistics of the churning job population.
+
+    ``arrival_rate`` is jobs per second (Poisson); ``mean_lifetime`` the
+    exponential mean job duration; checkpoint period and size are drawn
+    uniformly from the given ranges — spanning the Table IV envelope by
+    default.
+    """
+
+    arrival_rate: float = 1.0 / 300.0
+    mean_lifetime: float = 900.0
+    period_range: tuple[float, float] = (120.0, 360.0)
+    size_range: tuple[int, int] = (512 * MiB, 1024 * MiB)
+    max_concurrent: int = 8
+
+    def __post_init__(self) -> None:
+        check_positive("arrival_rate", self.arrival_rate)
+        check_positive("mean_lifetime", self.mean_lifetime)
+        if self.period_range[0] > self.period_range[1] or self.period_range[0] <= 0:
+            raise ValueError(f"invalid period_range {self.period_range}")
+        if self.size_range[0] > self.size_range[1] or self.size_range[0] <= 0:
+            raise ValueError(f"invalid size_range {self.size_range}")
+        if self.max_concurrent < 1:
+            raise ValueError(f"max_concurrent must be >= 1, got {self.max_concurrent}")
+
+
+def _job(
+    container: "Container",
+    tier: "StorageTier",
+    spec: NoiseSpec,
+    lifetime: float,
+    rng: np.random.Generator,
+    on_exit,
+) -> Generator:
+    """One churning job: checkpoint periodically, then exit and clean up."""
+    inner = checkpoint_workload(container, tier, spec, rng, phase_jitter=0.0)
+    deadline = container.sim.now + lifetime
+    try:
+        for waitable in inner:
+            yield waitable
+            if container.sim.now >= deadline:
+                break
+    except Interrupt:
+        pass
+    finally:
+        fname = f"{container.name}/checkpoint"
+        if fname in tier.filesystem:
+            tier.filesystem.delete(fname)
+        on_exit(container.name)
+
+
+def churn_driver(
+    runtime: "ContainerRuntime",
+    tier: "StorageTier",
+    spec: ChurnSpec,
+    rng: np.random.Generator | int | None = None,
+    *,
+    on_population_change=None,
+) -> Generator:
+    """Generator process that spawns and reaps churning jobs forever.
+
+    Run it with ``sim.process(churn_driver(...))``.  ``on_population_change``
+    (if given) is called with the live-job count after every arrival or
+    departure — handy for asserting churn actually happened.
+    """
+    rng = make_rng(rng)
+    live: set[str] = set()
+    counter = 0
+
+    def exited(name: str) -> None:
+        live.discard(name)
+        if on_population_change is not None:
+            on_population_change(len(live))
+
+    try:
+        while True:
+            yield Timeout(float(rng.exponential(1.0 / spec.arrival_rate)))
+            if len(live) >= spec.max_concurrent:
+                continue
+            counter += 1
+            name = f"churn-{counter}"
+            noise = NoiseSpec(
+                name,
+                period=float(rng.uniform(*spec.period_range)),
+                checkpoint_bytes=int(rng.integers(spec.size_range[0], spec.size_range[1] + 1)),
+            )
+            lifetime = float(rng.exponential(spec.mean_lifetime))
+            job_rng = make_rng(int(rng.integers(0, 2**62)))
+            runtime.run(
+                name,
+                lambda c, n=noise, lt=lifetime, r=job_rng: _job(
+                    c, tier, n, lt, r, exited
+                ),
+            )
+            live.add(name)
+            if on_population_change is not None:
+                on_population_change(len(live))
+    except Interrupt:
+        return
+
+
+def launch_churn(
+    runtime: "ContainerRuntime",
+    tier: "StorageTier",
+    spec: ChurnSpec | None = None,
+    seed: int | np.random.Generator | None = 0,
+    **kwargs,
+):
+    """Start the churn driver as a simulation process; returns the Process."""
+    spec = spec if spec is not None else ChurnSpec()
+    return runtime.sim.process(
+        churn_driver(runtime, tier, spec, make_rng(seed), **kwargs)
+    )

@@ -1,0 +1,118 @@
+"""The interfering checkpoint containers (Table IV).
+
+Six containers inject periodic write bursts into the capacity tier (HDD),
+mimicking checkpointing from co-located simulations.  Periods and sizes
+are the paper's; each container's phase can be jittered by a seeded RNG
+so replications explore different alignments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Generator
+
+import numpy as np
+
+from repro.simkernel import Interrupt, Timeout
+from repro.util.rng import make_rng, spawn_rngs
+from repro.util.units import MiB
+from repro.util.validation import check_positive
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.containers import Container, ContainerRuntime
+    from repro.storage.tier import StorageTier
+
+__all__ = ["NoiseSpec", "TABLE_IV_NOISE", "checkpoint_workload", "launch_noise"]
+
+
+@dataclass(frozen=True)
+class NoiseSpec:
+    """One interfering container: its checkpoint period and size."""
+
+    name: str
+    period: float
+    checkpoint_bytes: int
+
+    def __post_init__(self) -> None:
+        check_positive("period", self.period)
+        check_positive("checkpoint_bytes", self.checkpoint_bytes)
+
+
+#: Table IV of the paper, verbatim.
+TABLE_IV_NOISE: tuple[NoiseSpec, ...] = (
+    NoiseSpec("noise-1", period=200.0, checkpoint_bytes=768 * MiB),
+    NoiseSpec("noise-2", period=225.0, checkpoint_bytes=512 * MiB),
+    NoiseSpec("noise-3", period=360.0, checkpoint_bytes=512 * MiB),
+    NoiseSpec("noise-4", period=180.0, checkpoint_bytes=1024 * MiB),
+    NoiseSpec("noise-5", period=150.0, checkpoint_bytes=1024 * MiB),
+    NoiseSpec("noise-6", period=120.0, checkpoint_bytes=1024 * MiB),
+)
+
+
+def checkpoint_workload(
+    container: "Container",
+    tier: "StorageTier",
+    spec: NoiseSpec,
+    rng: np.random.Generator | int | None = None,
+    *,
+    phase_jitter: float = 1.0,
+    period_jitter: float = 0.02,
+) -> Generator:
+    """Periodic checkpoint writer.
+
+    Starts at a random phase offset within one period (``phase_jitter``
+    scales it; 0 = all containers aligned at t=0).  Every ``period``
+    seconds it (over)writes its checkpoint file; if a write overruns the
+    period — heavy contention — the next one starts immediately.
+
+    ``period_jitter`` adds a small zero-mean Gaussian perturbation
+    (fraction of the period) to each cycle: real simulations checkpoint
+    on iteration counts whose wall-clock period drifts slightly.  The
+    drift keeps the traffic periodic (the DFT estimator's premise) while
+    letting burst alignments against the analytics' step grid vary.
+    """
+    rng = make_rng(rng)
+    offset = float(rng.random() * spec.period * phase_jitter)
+    fs = tier.filesystem
+    fname = f"{container.name}/checkpoint"
+    try:
+        yield Timeout(offset)
+        next_deadline = container.sim.now
+        while True:
+            if fname in fs:
+                ev = fs.overwrite(container.cgroup, fname)
+            else:
+                ev = fs.write(container.cgroup, fname, spec.checkpoint_bytes)
+            yield ev
+            jitter = 1.0 + period_jitter * float(rng.standard_normal())
+            next_deadline += spec.period * max(jitter, 0.1)
+            yield Timeout(max(0.0, next_deadline - container.sim.now))
+    except Interrupt:
+        return
+
+
+def launch_noise(
+    runtime: "ContainerRuntime",
+    tier: "StorageTier",
+    specs: list[NoiseSpec] | tuple[NoiseSpec, ...] = TABLE_IV_NOISE,
+    seed: int | np.random.Generator | None = 0,
+    *,
+    phase_jitter: float = 1.0,
+    period_jitter: float = 0.02,
+) -> list["Container"]:
+    """Start one container per noise spec, writing to ``tier``.
+
+    Each container gets an independent RNG stream; the default blkio
+    weight (100) matches the paper's configuration.
+    """
+    rngs = spawn_rngs(seed, len(specs))
+    containers = []
+    for spec, rng in zip(specs, rngs):
+        c = runtime.run(
+            spec.name,
+            lambda cont, s=spec, r=rng: checkpoint_workload(
+                cont, tier, s, r, phase_jitter=phase_jitter, period_jitter=period_jitter
+            ),
+        )
+        containers.append(c)
+    return containers

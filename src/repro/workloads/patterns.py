@@ -1,0 +1,90 @@
+"""The I(C^x W)* F application pattern (Section II).
+
+Parallel HPC applications initialise (I), iterate compute phases (C^x)
+punctuated by I/O phases (W), and finalise (F).  The interference an
+analytics job sees is the superposition of the W phases of its
+co-located applications — which is why it is periodic and predictable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Generator
+
+from repro.simkernel import Timeout
+from repro.util.validation import check_non_negative, check_positive
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.containers import Container
+    from repro.storage.filesystem import Filesystem
+
+__all__ = ["ApplicationPattern", "pattern_workload"]
+
+
+@dataclass(frozen=True)
+class ApplicationPattern:
+    """Parameters of one ``I(C^x W)* F`` application.
+
+    ``compute_duration`` is one C iteration; ``compute_iterations`` is x;
+    ``io_bytes`` the volume of one W phase; ``cycles`` the number of
+    (C^x W) repetitions (``None`` = run until interrupted).
+    """
+
+    init_duration: float = 0.0
+    compute_duration: float = 1.0
+    compute_iterations: int = 1
+    io_bytes: int = 0
+    cycles: int | None = None
+    finalize_duration: float = 0.0
+
+    def __post_init__(self) -> None:
+        check_non_negative("init_duration", self.init_duration)
+        check_non_negative("compute_duration", self.compute_duration)
+        check_non_negative("finalize_duration", self.finalize_duration)
+        if self.compute_iterations < 1:
+            raise ValueError(
+                f"compute_iterations must be >= 1, got {self.compute_iterations}"
+            )
+        if self.io_bytes < 0:
+            raise ValueError(f"io_bytes must be >= 0, got {self.io_bytes}")
+        if self.cycles is not None and self.cycles < 0:
+            raise ValueError(f"cycles must be >= 0, got {self.cycles}")
+
+    @property
+    def nominal_period(self) -> float:
+        """Length of one (C^x W) cycle excluding I/O contention delays."""
+        return self.compute_duration * self.compute_iterations
+
+
+def pattern_workload(
+    container: "Container",
+    filesystem: "Filesystem",
+    pattern: ApplicationPattern,
+    *,
+    file_prefix: str | None = None,
+) -> Generator:
+    """Generator implementing ``I(C^x W)* F`` as a container workload.
+
+    Each W phase writes ``io_bytes`` (checkpoint-style traffic: the first
+    cycle allocates, later cycles overwrite in place).  Yields the list of
+    per-cycle W-phase durations as the process result.
+    """
+    prefix = file_prefix if file_prefix is not None else container.name
+    fname = f"{prefix}/checkpoint"
+    yield Timeout(pattern.init_duration)
+    w_durations: list[float] = []
+    cycle = 0
+    while pattern.cycles is None or cycle < pattern.cycles:
+        for _ in range(pattern.compute_iterations):
+            yield Timeout(pattern.compute_duration)
+        if pattern.io_bytes > 0:
+            start = container.sim.now
+            if fname in filesystem:
+                ev = filesystem.overwrite(container.cgroup, fname)
+            else:
+                ev = filesystem.write(container.cgroup, fname, pattern.io_bytes)
+            yield ev
+            w_durations.append(container.sim.now - start)
+        cycle += 1
+    yield Timeout(pattern.finalize_duration)
+    return w_durations

@@ -1,0 +1,157 @@
+"""Trace-driven interference: replay a recorded write schedule.
+
+The Table IV containers are *closed-loop*: when the disk is congested,
+their writes stretch and the next checkpoint slips, so the interference
+an analytics run sees depends (slightly) on the analytics' own behaviour.
+Replay makes the interference **open-loop**: a pre-synthesized schedule
+of (time, bytes) write events is replayed verbatim, so every policy under
+comparison faces byte-identical interference — the standard
+variance-reduction technique of trace-driven storage evaluation.  Traces
+round-trip through CSV for interchange with real block traces.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Generator, Iterable, Sequence
+
+import numpy as np
+
+from repro.simkernel import Interrupt, Timeout
+from repro.util.rng import make_rng
+from repro.workloads.noise import NoiseSpec
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.containers import Container, ContainerRuntime
+    from repro.storage.tier import StorageTier
+
+__all__ = [
+    "TraceEvent",
+    "synthesize_trace",
+    "trace_to_csv",
+    "trace_from_csv",
+    "replay_workload",
+    "launch_replay",
+]
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One write burst: start time (s) and size (bytes)."""
+
+    time: float
+    nbytes: int
+
+    def __post_init__(self) -> None:
+        if self.time < 0:
+            raise ValueError(f"event time must be >= 0, got {self.time}")
+        if self.nbytes <= 0:
+            raise ValueError(f"event size must be > 0, got {self.nbytes}")
+
+
+def synthesize_trace(
+    specs: Sequence[NoiseSpec],
+    duration: float,
+    seed: int | np.random.Generator | None = 0,
+    *,
+    phase_jitter: float = 1.0,
+    period_jitter: float = 0.005,
+) -> list[TraceEvent]:
+    """Pre-compute the write schedule the noise containers *would* issue.
+
+    Open-loop: periods drift per the jitter model but never stretch under
+    contention.  Events from all containers are merged and time-sorted.
+    """
+    if duration <= 0:
+        raise ValueError(f"duration must be > 0, got {duration}")
+    rng = make_rng(seed)
+    events: list[TraceEvent] = []
+    for spec in specs:
+        sub = make_rng(int(rng.integers(0, 2**62)))
+        t = float(sub.random() * spec.period * phase_jitter)
+        while t < duration:
+            events.append(TraceEvent(time=t, nbytes=spec.checkpoint_bytes))
+            jitter = 1.0 + period_jitter * float(sub.standard_normal())
+            t += spec.period * max(jitter, 0.1)
+    events.sort(key=lambda e: e.time)
+    return events
+
+
+def trace_to_csv(events: Iterable[TraceEvent]) -> str:
+    """Render a trace as CSV text (``time,nbytes`` header + rows)."""
+    buf = io.StringIO()
+    writer = csv.writer(buf)
+    writer.writerow(["time", "nbytes"])
+    for ev in events:
+        writer.writerow([f"{ev.time:.6f}", ev.nbytes])
+    return buf.getvalue()
+
+
+def trace_from_csv(text: str) -> list[TraceEvent]:
+    """Parse a trace from CSV text (inverse of :func:`trace_to_csv`)."""
+    reader = csv.DictReader(io.StringIO(text))
+    if reader.fieldnames is None or not {"time", "nbytes"} <= set(reader.fieldnames):
+        raise ValueError("trace CSV needs 'time' and 'nbytes' columns")
+    events = [
+        TraceEvent(time=float(row["time"]), nbytes=int(row["nbytes"]))
+        for row in reader
+    ]
+    return sorted(events, key=lambda e: e.time)
+
+
+def replay_workload(
+    container: "Container",
+    tier: "StorageTier",
+    events: Sequence[TraceEvent],
+    *,
+    overlap: bool = True,
+) -> Generator:
+    """Generator replaying a write trace into ``tier``.
+
+    With ``overlap=True`` (default) each burst is submitted at its trace
+    time even if earlier bursts are still draining — faithful open-loop
+    replay.  ``overlap=False`` serialises bursts (a single-writer replay).
+    Returns the number of bursts issued.
+    """
+    fs = tier.filesystem
+    sim = container.sim
+    issued = 0
+    pending = []
+    try:
+        for i, ev in enumerate(sorted(events, key=lambda e: e.time)):
+            delay = ev.time - sim.now
+            if delay > 0:
+                yield Timeout(delay)
+            fname = f"{container.name}/burst-{i}"
+            if fname in fs:
+                write_event = fs.overwrite(container.cgroup, fname)
+            else:
+                write_event = fs.write(container.cgroup, fname, ev.nbytes)
+            issued += 1
+            if overlap:
+                pending.append(write_event)
+            else:
+                yield write_event
+        for write_event in pending:
+            if not write_event.triggered:
+                yield write_event
+        return issued
+    except Interrupt:
+        return issued
+
+
+def launch_replay(
+    runtime: "ContainerRuntime",
+    tier: "StorageTier",
+    events: Sequence[TraceEvent],
+    *,
+    name: str = "replay",
+    overlap: bool = True,
+) -> "Container":
+    """Start a container replaying ``events`` into ``tier``."""
+    return runtime.run(
+        name,
+        lambda c: replay_workload(c, tier, events, overlap=overlap),
+    )

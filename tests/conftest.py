@@ -1,0 +1,50 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.simkernel import Simulation
+from repro.storage.cgroup import CgroupController
+from repro.storage.device import BlockDevice, DeviceSpec
+from repro.util.units import GiB, mb_per_s
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(42)
+
+
+@pytest.fixture
+def smooth_field(rng) -> np.ndarray:
+    """A smooth 2-D field with mild noise — decomposes like simulation data."""
+    x, y = np.meshgrid(np.linspace(0, 4, 128), np.linspace(0, 4, 96), indexing="ij")
+    return np.sin(2 * x) * np.cos(3 * y) + 0.02 * rng.standard_normal(x.shape)
+
+
+@pytest.fixture
+def sim() -> Simulation:
+    return Simulation()
+
+
+@pytest.fixture
+def simple_spec() -> DeviceSpec:
+    """A frictionless 200 MB/s device: no seeks, no thrash, no floors."""
+    return DeviceSpec(
+        name="testdisk",
+        read_bw=mb_per_s(200),
+        write_bw=mb_per_s(200),
+        seek_time=0.0,
+        capacity=64 * GiB,
+    )
+
+
+@pytest.fixture
+def device(sim, simple_spec) -> BlockDevice:
+    return BlockDevice(sim, simple_spec)
+
+
+@pytest.fixture
+def cgroups() -> CgroupController:
+    return CgroupController()

@@ -1,0 +1,142 @@
+"""Tests for repro.storage.blkio — proportional-share rate computation."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.storage.blkio import StreamDemand, compute_rates
+
+PEAK = 200e6
+
+
+def d(key, weight, peak=PEAK, cap=math.inf, floor=0.0):
+    return StreamDemand(key=key, weight=weight, peak_rate=peak, cap=cap, floor=floor)
+
+
+class TestProportionalSharing:
+    def test_empty(self):
+        assert compute_rates([]) == {}
+
+    def test_single_stream_gets_peak(self):
+        rates = compute_rates([d(0, 100)])
+        assert rates[0] == pytest.approx(PEAK)
+
+    def test_equal_weights_split_evenly(self):
+        rates = compute_rates([d(0, 100), d(1, 100)])
+        assert rates[0] == pytest.approx(PEAK / 2)
+        assert rates[1] == pytest.approx(PEAK / 2)
+
+    def test_paper_example_133_67(self):
+        """The paper's arithmetic: 200 MB/s, weights 200 vs 100 -> 133/67."""
+        rates = compute_rates([d(0, 200), d(1, 100)])
+        assert rates[0] == pytest.approx(PEAK * 2 / 3)
+        assert rates[1] == pytest.approx(PEAK / 3)
+
+    def test_three_equal_weights(self):
+        """Adding a third equal-weight stream drops everyone to 1/3."""
+        rates = compute_rates([d(i, 100) for i in range(3)])
+        for i in range(3):
+            assert rates[i] == pytest.approx(PEAK / 3)
+
+    def test_duplicate_keys_rejected(self):
+        with pytest.raises(ValueError):
+            compute_rates([d(0, 100), d(0, 100)])
+
+
+class TestThrottleCaps:
+    def test_cap_limits_stream(self):
+        rates = compute_rates([d(0, 100, cap=10e6)])
+        assert rates[0] == pytest.approx(10e6)
+
+    def test_surplus_redistributed(self):
+        """A capped stream's surplus goes to the uncapped one."""
+        rates = compute_rates([d(0, 100, cap=20e6), d(1, 100)])
+        assert rates[0] == pytest.approx(20e6)
+        assert rates[1] == pytest.approx(PEAK - 20e6)
+
+    def test_all_capped_leaves_capacity_unused(self):
+        rates = compute_rates([d(0, 100, cap=30e6), d(1, 100, cap=40e6)])
+        assert rates[0] == pytest.approx(30e6)
+        assert rates[1] == pytest.approx(40e6)
+
+    def test_mixed_direction_peaks(self):
+        """Streams with different peaks share normalised utilisation."""
+        rates = compute_rates([d(0, 100, peak=200e6), d(1, 100, peak=100e6)])
+        # Equal weights -> equal utilisation halves -> 100 and 50 MB/s.
+        assert rates[0] == pytest.approx(100e6)
+        assert rates[1] == pytest.approx(50e6)
+
+
+class TestFloors:
+    def test_floor_guaranteed_under_pressure(self):
+        """A huge competing weight cannot squeeze a floored stream below
+        its floor."""
+        rates = compute_rates([d(0, 100, floor=20e6), d(1, 10_000)])
+        assert rates[0] >= 20e6 - 1e-6
+
+    def test_floor_plus_share(self):
+        rates = compute_rates([d(0, 100, floor=20e6), d(1, 100)])
+        remaining = PEAK - 20e6
+        assert rates[0] == pytest.approx(20e6 + remaining / 2)
+        assert rates[1] == pytest.approx(remaining / 2)
+
+    def test_oversubscribed_floors_scaled(self):
+        rates = compute_rates([d(0, 100, floor=150e6), d(1, 100, floor=150e6)])
+        assert rates[0] == pytest.approx(PEAK / 2)
+        assert rates[1] == pytest.approx(PEAK / 2)
+
+    def test_floor_capped_by_throttle(self):
+        rates = compute_rates([d(0, 100, cap=10e6, floor=50e6)])
+        assert rates[0] == pytest.approx(10e6)
+
+
+class TestValidation:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"weight": 0},
+            {"weight": -1},
+            {"weight": math.inf},
+            {"peak_rate": 0},
+            {"cap": 0},
+            {"floor": -1},
+            {"floor": math.nan},
+        ],
+    )
+    def test_bad_demand(self, kwargs):
+        base = {"key": 0, "weight": 100, "peak_rate": PEAK}
+        base.update(kwargs)
+        with pytest.raises(ValueError):
+            StreamDemand(**base)
+
+
+class TestConservation:
+    @given(
+        weights=st.lists(st.floats(100, 1000), min_size=1, max_size=8),
+        caps=st.lists(st.one_of(st.just(math.inf), st.floats(1e6, 3e8)), min_size=8, max_size=8),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_property_never_oversubscribed(self, weights, caps):
+        demands = [d(i, w, cap=caps[i]) for i, w in enumerate(weights)]
+        rates = compute_rates(demands)
+        # Utilisation must not exceed 1 and caps must be honoured.
+        util = sum(rates[dm.key] / dm.peak_rate for dm in demands)
+        assert util <= 1.0 + 1e-9
+        for dm in demands:
+            assert rates[dm.key] <= min(dm.cap, dm.peak_rate) + 1e-6
+
+    @given(weights=st.lists(st.floats(100, 1000), min_size=2, max_size=6))
+    @settings(max_examples=40, deadline=None)
+    def test_property_work_conserving_without_caps(self, weights):
+        demands = [d(i, w) for i, w in enumerate(weights)]
+        rates = compute_rates(demands)
+        util = sum(rates[dm.key] / dm.peak_rate for dm in demands)
+        assert util == pytest.approx(1.0)
+
+    @given(w_hi=st.floats(200, 1000), w_lo=st.floats(100, 199))
+    @settings(max_examples=40, deadline=None)
+    def test_property_weight_monotone(self, w_hi, w_lo):
+        rates = compute_rates([d(0, w_hi), d(1, w_lo)])
+        assert rates[0] >= rates[1]

@@ -1,0 +1,120 @@
+"""Tests for repro.storage.cgroup."""
+
+import math
+
+import pytest
+
+from repro.storage.cgroup import DEFAULT_BLKIO_WEIGHT, BlkioCgroup, CgroupController
+from repro.util.units import mb_per_s, mb_to_bytes
+
+
+class TestWeight:
+    def test_default_weight(self):
+        assert BlkioCgroup("a").blkio_weight == DEFAULT_BLKIO_WEIGHT
+
+    def test_set_weight(self):
+        cg = BlkioCgroup("a")
+        cg.set_blkio_weight(500)
+        assert cg.blkio_weight == 500
+
+    @pytest.mark.parametrize("bad", [99, 1001, 0, -5])
+    def test_out_of_range_rejected(self, bad):
+        with pytest.raises(ValueError):
+            BlkioCgroup("a", bad)
+        cg = BlkioCgroup("a")
+        with pytest.raises(ValueError):
+            cg.set_blkio_weight(bad)
+
+    def test_weight_history_recorded(self):
+        cg = BlkioCgroup("a")
+        cg.set_blkio_weight(200, now=1.0)
+        cg.set_blkio_weight(300, now=2.5)
+        assert cg.weight_history == [(1.0, 200), (2.5, 300)]
+
+    def test_history_skipped_without_timestamp(self):
+        cg = BlkioCgroup("a")
+        cg.set_blkio_weight(200)
+        assert cg.weight_history == []
+
+
+class TestThrottle:
+    def test_default_unthrottled(self, device):
+        cg = BlkioCgroup("a")
+        assert cg.throttle_bps(device, "read") == math.inf
+
+    def test_set_and_clear(self, device):
+        cg = BlkioCgroup("a")
+        cg.set_throttle(device, "read", mb_per_s(50))
+        assert cg.throttle_bps(device, "read") == mb_per_s(50)
+        assert cg.throttle_bps(device, "write") == math.inf
+        cg.set_throttle(device, "read", None)
+        assert cg.throttle_bps(device, "read") == math.inf
+
+    def test_bad_direction(self, device):
+        with pytest.raises(ValueError):
+            BlkioCgroup("a").set_throttle(device, "sideways", 1.0)
+
+    def test_nonpositive_bps(self, device):
+        with pytest.raises(ValueError):
+            BlkioCgroup("a").set_throttle(device, "read", 0)
+
+    def test_throttle_enforced_end_to_end(self, sim, device, cgroups):
+        """A throttled stream cannot exceed its bps cap."""
+        cg = cgroups.create("a")
+        cg.set_throttle(device, "read", mb_per_s(50))
+        done = {}
+
+        def waiter(ev):
+            stats = yield ev
+            done["stats"] = stats
+
+        sim.process(waiter(device.submit(cg, int(mb_to_bytes(100)), "read")))
+        sim.run()
+        assert done["stats"].elapsed == pytest.approx(2.0)  # 100 MB at 50 MB/s
+
+
+class TestRuntimeAdjustment:
+    def test_weight_change_reschedules_active_device(self, sim, device, cgroups):
+        """Changing a weight mid-flight takes effect without restarting I/O
+        (the paper's 'no restart needed' property)."""
+        a, b = cgroups.create("a"), cgroups.create("b")
+        done = {}
+
+        def waiter(idx, ev):
+            stats = yield ev
+            done[idx] = stats
+
+        sim.process(waiter("a", device.submit(a, int(mb_to_bytes(1000)), "read")))
+        sim.process(waiter("b", device.submit(b, int(mb_to_bytes(1000)), "read")))
+        sim.schedule(5.0, lambda: a.set_blkio_weight(900))
+        sim.run()
+        assert done["a"].elapsed < 10.0 - 1e-9
+        assert done["b"].elapsed == pytest.approx(10.0)
+
+
+class TestController:
+    def test_create_and_get(self, cgroups):
+        cg = cgroups.create("app", 300)
+        assert cgroups.get("app") is cg
+        assert "app" in cgroups and len(cgroups) == 1
+
+    def test_duplicate_rejected(self, cgroups):
+        cgroups.create("app")
+        with pytest.raises(ValueError):
+            cgroups.create("app")
+
+    def test_get_missing(self, cgroups):
+        with pytest.raises(KeyError):
+            cgroups.get("ghost")
+
+    def test_remove(self, cgroups):
+        cgroups.create("app")
+        cgroups.remove("app")
+        assert "app" not in cgroups
+        with pytest.raises(KeyError):
+            cgroups.remove("app")
+
+    def test_names_sorted(self, cgroups):
+        for n in ("zeta", "alpha", "mid"):
+            cgroups.create(n)
+        assert cgroups.names() == ["alpha", "mid", "zeta"]

@@ -1,0 +1,105 @@
+"""Tests for repro.containers — the container runtime."""
+
+import pytest
+
+from repro.containers import Container, ContainerRuntime
+from repro.simkernel import Interrupt, Timeout
+
+
+@pytest.fixture
+def runtime(sim):
+    return ContainerRuntime(sim)
+
+
+class TestRuntime:
+    def test_create_makes_cgroup(self, runtime):
+        c = runtime.create("app", blkio_weight=250)
+        assert c.cgroup.blkio_weight == 250
+        assert runtime.cgroups.get("app") is c.cgroup
+
+    def test_duplicate_rejected(self, runtime):
+        runtime.create("app")
+        with pytest.raises(ValueError):
+            runtime.create("app")
+
+    def test_get_missing(self, runtime):
+        with pytest.raises(KeyError):
+            runtime.get("ghost")
+
+    def test_run_starts_workload(self, sim, runtime):
+        trace = []
+
+        def workload(container):
+            trace.append(container.name)
+            yield Timeout(1.0)
+            trace.append(sim.now)
+
+        runtime.run("w", workload)
+        sim.run()
+        assert trace == ["w", 1.0]
+
+    def test_names_and_len(self, runtime):
+        runtime.create("b")
+        runtime.create("a")
+        assert runtime.names() == ["a", "b"]
+        assert len(runtime) == 2
+
+    def test_stop_all(self, sim, runtime):
+        stopped = []
+
+        def forever(container):
+            try:
+                while True:
+                    yield Timeout(10.0)
+            except Interrupt:
+                stopped.append(container.name)
+
+        runtime.run("x", forever)
+        runtime.run("y", forever)
+        sim.run(until=5.0)
+        runtime.stop_all()
+        sim.run(until=6.0)
+        assert sorted(stopped) == ["x", "y"]
+
+
+class TestContainer:
+    def test_weight_adjustment_recorded(self, sim, runtime):
+        c = runtime.create("app")
+        sim.schedule(2.0, c.set_blkio_weight, 400)
+        sim.run()
+        assert c.cgroup.weight_history == [(2.0, 400)]
+        assert c.blkio_weight == 400
+
+    def test_is_running_lifecycle(self, sim, runtime):
+        def quick(container):
+            yield Timeout(1.0)
+
+        c = runtime.run("app", quick)
+        assert c.is_running
+        sim.run()
+        assert not c.is_running
+
+    def test_stop_is_idempotent(self, sim, runtime):
+        def forever(container):
+            while True:
+                yield Timeout(10.0)
+
+        c = runtime.run("app", forever)
+        sim.run(until=1.0)
+        c.stop()
+        c.stop()
+        assert c.stopped_at == 1.0
+        assert not c.is_running
+
+    def test_attach_twice_rejected(self, sim, runtime):
+        def forever(container):
+            while True:
+                yield Timeout(10.0)
+
+        c = runtime.run("app", forever)
+        with pytest.raises(RuntimeError):
+            c.attach(sim.process(forever(c)))
+
+    def test_container_without_process_is_running(self, runtime):
+        c = runtime.create("bare")
+        assert c.is_running

@@ -1,0 +1,166 @@
+"""Tests for runtime device degradation, staging-phase simulation, and
+sparkline rendering."""
+
+import numpy as np
+import pytest
+
+from repro.core.error_control import ErrorMetric, build_ladder
+from repro.core.refactor import decompose
+from repro.experiments.report import sparkline
+from repro.simkernel import Timeout
+from repro.storage.staging import stage_dataset
+from repro.storage.tier import TieredStorage
+from repro.util.units import mb_to_bytes
+
+
+class TestSpeedFactor:
+    def test_nominal_by_default(self, device):
+        assert device.speed_factor == 1.0
+
+    def test_validation(self, device):
+        with pytest.raises(ValueError):
+            device.set_speed_factor(0.0)
+        with pytest.raises(ValueError):
+            device.set_speed_factor(1.5)
+
+    def test_degraded_device_slower(self, sim, device, cgroups):
+        cg = cgroups.create("a")
+        device.set_speed_factor(0.5)
+        done = {}
+
+        def waiter(ev):
+            stats = yield ev
+            done["s"] = stats
+
+        sim.process(waiter(device.submit(cg, int(mb_to_bytes(200)), "read")))
+        sim.run()
+        # 200 MB at 0.5 * 200 MB/s = 2 s.
+        assert done["s"].elapsed == pytest.approx(2.0)
+
+    def test_midflight_degradation_repaces(self, sim, device, cgroups):
+        cg = cgroups.create("a")
+        done = {}
+
+        def waiter(ev):
+            stats = yield ev
+            done["s"] = stats
+
+        def degrade():
+            yield Timeout(1.0)
+            device.set_speed_factor(0.25)
+
+        sim.process(waiter(device.submit(cg, int(mb_to_bytes(400)), "read")))
+        sim.process(degrade())
+        sim.run()
+        # 200 MB in the first second, 200 MB at 50 MB/s after -> 5 s total.
+        assert done["s"].elapsed == pytest.approx(5.0)
+
+    def test_recovery(self, sim, device, cgroups):
+        cg = cgroups.create("a")
+        device.set_speed_factor(0.5)
+        device.set_speed_factor(1.0)
+        done = {}
+
+        def waiter(ev):
+            stats = yield ev
+            done["s"] = stats
+
+        sim.process(waiter(device.submit(cg, int(mb_to_bytes(200)), "read")))
+        sim.run()
+        assert done["s"].elapsed == pytest.approx(1.0)
+
+    def test_adaptation_to_aging_disk(self):
+        """End to end: when the capacity tier degrades mid-run, the
+        cross-layer controller retrieves fewer rungs on average than it
+        does on a healthy disk."""
+        from repro.experiments.config import ScenarioConfig
+        from repro.experiments.runner import run_scenario
+        from repro.storage.tier import TieredStorage as TS
+
+        def run(degrade: bool) -> float:
+            captured = {}
+
+            def factory(sim):
+                storage = TS.two_tier_testbed(sim)
+                captured["sim"] = sim
+                captured["hdd"] = storage.slowest.device
+                if degrade:
+                    sim.schedule(600.0, captured["hdd"].set_speed_factor, 0.3)
+                return storage
+
+            cfg = ScenarioConfig(
+                policy="cross-layer", max_steps=40, error_control=False, seed=0
+            )
+            res = run_scenario(cfg, storage_factory=factory)
+            # Mean rung over the post-degradation window.
+            late = [r.target_rung for r in res.records if r.started_at > 900.0]
+            return float(np.mean(late))
+
+        assert run(degrade=True) < run(degrade=False)
+
+
+class TestStagingWorkload:
+    @pytest.fixture
+    def staged(self, sim, smooth_field):
+        storage = TieredStorage.two_tier_testbed(sim)
+        dec = decompose(smooth_field, 4)
+        ladder = build_ladder(dec, [0.1, 0.01, 0.001], ErrorMetric.NRMSE)
+        return storage, stage_dataset("job", ladder, storage, size_scale=1000.0)
+
+    def test_staging_writes_all_objects(self, sim, staged, cgroups):
+        storage, ds = staged
+        cg = cgroups.create("stager")
+        proc = sim.process(ds.staging_workload(cg))
+        sim.run()
+        durations = proc.result
+        assert set(durations) == {"base"} | {
+            f"aug-eps{m}" for m in range(1, ds.ladder.num_buckets + 1)
+        }
+        assert all(d >= 0 for d in durations.values())
+
+    def test_staging_traffic_reaches_devices(self, sim, staged, cgroups):
+        storage, ds = staged
+        cg = cgroups.create("stager")
+        sim.process(ds.staging_workload(cg))
+        sim.run()
+        total_written = sum(
+            t.device.bytes_moved["write"] for t in storage.tiers
+        )
+        assert total_written == pytest.approx(ds.total_staged_bytes, rel=1e-6)
+
+    def test_largest_bucket_dominates_staging_time(self, sim, staged, cgroups):
+        storage, ds = staged
+        cg = cgroups.create("stager")
+        proc = sim.process(ds.staging_workload(cg))
+        sim.run()
+        durations = proc.result
+        heavy = max(ds.ladder.buckets, key=lambda b: b.cardinality)
+        assert durations[f"aug-eps{heavy.index}"] == max(
+            v for k, v in durations.items() if k != "base"
+        )
+
+
+class TestSparkline:
+    def test_empty(self):
+        assert sparkline([]) == ""
+
+    def test_constant(self):
+        assert sparkline([5, 5, 5]) == "▁▁▁"
+
+    def test_monotone(self):
+        s = sparkline([0, 1, 2, 3, 4, 5, 6, 7])
+        assert s == "▁▂▃▄▅▆▇█"
+
+    def test_extremes(self):
+        s = sparkline([0.0, 10.0])
+        assert s[0] == "▁" and s[-1] == "█"
+
+    def test_length_preserved(self):
+        assert len(sparkline(range(37))) == 37
+
+    def test_cli_sparkline_flag(self, capsys):
+        from repro.cli import main
+
+        assert main(["scenario", "--steps", "3", "--sparkline"]) == 0
+        out = capsys.readouterr().out
+        assert "io times" in out and "measured BW" in out

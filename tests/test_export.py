@@ -1,0 +1,81 @@
+"""Tests for repro.experiments.export."""
+
+import dataclasses
+import json
+
+import numpy as np
+import pytest
+
+from repro.experiments.export import export_figure, export_result, to_jsonable
+
+
+@dataclasses.dataclass(frozen=True)
+class Inner:
+    value: float
+    tags: tuple
+
+
+@dataclasses.dataclass(frozen=True)
+class Outer:
+    name: str
+    items: tuple
+    matrix: np.ndarray
+    scalar: np.float64
+
+
+class TestToJsonable:
+    def test_nested_dataclasses(self):
+        obj = Outer(
+            name="x",
+            items=(Inner(1.5, ("a", "b")), Inner(2.5, ())),
+            matrix=np.eye(2),
+            scalar=np.float64(3.25),
+        )
+        data = to_jsonable(obj)
+        assert data["items"][0]["value"] == 1.5
+        assert data["matrix"] == [[1.0, 0.0], [0.0, 1.0]]
+        assert data["scalar"] == 3.25
+        json.dumps(data)  # fully serialisable
+
+    def test_numpy_scalars(self):
+        assert to_jsonable(np.int64(7)) == 7
+        assert to_jsonable(np.bool_(True)) is True
+
+    def test_non_finite_floats(self):
+        assert to_jsonable(float("inf")) == "inf"
+
+    def test_enum_like(self):
+        from repro.core.error_control import ErrorMetric
+
+        assert to_jsonable(ErrorMetric.NRMSE) == "nrmse"
+
+    def test_dict_keys_stringified(self):
+        assert to_jsonable({1: "a"}) == {"1": "a"}
+
+    def test_real_result_roundtrips(self):
+        from repro.experiments.fig05 import run_fig05
+
+        data = to_jsonable(run_fig05())
+        assert data["metric"] == "nrmse"
+        assert len(data["weight_vs_priority"]) == 6
+        json.dumps(data)
+
+
+class TestExport:
+    def test_export_result(self, tmp_path):
+        from repro.experiments.fig05 import run_fig05
+
+        path = tmp_path / "fig05.json"
+        data = export_result(run_fig05(), str(path))
+        loaded = json.loads(path.read_text())
+        assert loaded == data
+
+    def test_export_figure_by_name(self, tmp_path):
+        path = tmp_path / "fig05.json"
+        data = export_figure("fig05", str(path), fast=True)
+        assert "weight_vs_cardinality" in data
+        assert path.exists()
+
+    def test_unknown_figure(self, tmp_path):
+        with pytest.raises(ValueError, match="unknown figure"):
+            export_figure("fig99", str(tmp_path / "x.json"))

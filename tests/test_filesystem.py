@@ -1,0 +1,130 @@
+"""Tests for repro.storage.filesystem."""
+
+import math
+
+import pytest
+
+from repro.storage.filesystem import DEFAULT_EXTENT_SIZE, FileObject, Filesystem
+from repro.util.units import GiB, MiB, mb_to_bytes
+
+
+@pytest.fixture
+def fs(device):
+    return Filesystem(device)
+
+
+class TestAllocation:
+    def test_allocate_and_get(self, fs):
+        f = fs.allocate("data", 10 * MiB)
+        assert fs.get("data") is f
+        assert f.size == 10 * MiB
+
+    def test_contiguous_extent_count(self, fs):
+        f = fs.allocate("big", 300 * MiB)
+        assert f.extents == math.ceil(300 * MiB / DEFAULT_EXTENT_SIZE)
+
+    def test_fragmented_has_more_extents(self, fs):
+        a = fs.allocate("contig", 64 * MiB, contiguous=True)
+        b = fs.allocate("frag", 64 * MiB, contiguous=False)
+        assert b.extents > a.extents
+
+    def test_duplicate_name_rejected(self, fs):
+        fs.allocate("x", 1)
+        with pytest.raises(FileExistsError):
+            fs.allocate("x", 1)
+
+    def test_capacity_enforced(self, fs):
+        with pytest.raises(OSError, match="full"):
+            fs.allocate("huge", 65 * GiB)
+
+    def test_used_and_free(self, fs, device):
+        fs.allocate("a", 10 * MiB)
+        assert fs.used_bytes == 10 * MiB
+        assert fs.free_bytes == device.spec.capacity - 10 * MiB
+
+    def test_delete_frees_space(self, fs):
+        fs.allocate("a", 10 * MiB)
+        fs.delete("a")
+        assert fs.used_bytes == 0
+        assert "a" not in fs
+
+    def test_delete_missing(self, fs):
+        with pytest.raises(FileNotFoundError):
+            fs.delete("ghost")
+
+    def test_negative_size_rejected(self, fs):
+        with pytest.raises(ValueError):
+            fs.allocate("neg", -1)
+
+    def test_zero_size_file(self, fs):
+        f = fs.allocate("empty", 0)
+        assert f.size == 0 and f.extents == 1
+
+
+class TestFileObjectValidation:
+    def test_bad_extents(self):
+        with pytest.raises(ValueError):
+            FileObject(name="x", size=1, extents=0)
+
+    def test_bad_size(self):
+        with pytest.raises(ValueError):
+            FileObject(name="x", size=-1, extents=1)
+
+
+class TestIO:
+    def test_full_read_duration(self, sim, fs, cgroups):
+        cg = cgroups.create("a")
+        fs.allocate("data", int(mb_to_bytes(400)))
+        done = {}
+
+        def waiter(ev):
+            stats = yield ev
+            done["s"] = stats
+
+        sim.process(waiter(fs.read(cg, "data")))
+        sim.run()
+        assert done["s"].elapsed == pytest.approx(2.0)  # 400 MB at 200 MB/s
+
+    def test_partial_read(self, sim, fs, cgroups):
+        cg = cgroups.create("a")
+        fs.allocate("data", int(mb_to_bytes(400)))
+        done = {}
+
+        def waiter(ev):
+            stats = yield ev
+            done["s"] = stats
+
+        sim.process(waiter(fs.read(cg, "data", nbytes=int(mb_to_bytes(100)))))
+        sim.run()
+        assert done["s"].nbytes == int(mb_to_bytes(100))
+        assert done["s"].elapsed == pytest.approx(0.5)
+
+    def test_partial_read_bounds(self, fs, cgroups):
+        cg = cgroups.create("a")
+        fs.allocate("data", 100)
+        with pytest.raises(ValueError):
+            fs.read(cg, "data", nbytes=101)
+
+    def test_read_missing_file(self, fs, cgroups):
+        with pytest.raises(FileNotFoundError):
+            fs.read(cgroups.create("a"), "ghost")
+
+    def test_write_allocates(self, sim, fs, cgroups):
+        cg = cgroups.create("a")
+        ev = fs.write(cg, "out", int(mb_to_bytes(200)))
+        sim.run()
+        assert ev.triggered
+        assert "out" in fs
+
+    def test_overwrite_reuses_allocation(self, sim, fs, cgroups):
+        cg = cgroups.create("a")
+        fs.write(cg, "ckpt", int(mb_to_bytes(100)))
+        sim.run()
+        used_before = fs.used_bytes
+        fs.overwrite(cg, "ckpt")
+        sim.run()
+        assert fs.used_bytes == used_before
+
+    def test_extent_size_validation(self, device):
+        with pytest.raises(ValueError):
+            Filesystem(device, extent_size=0)

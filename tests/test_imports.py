@@ -1,0 +1,41 @@
+"""Every module in the package must import cleanly and export what its
+``__all__`` promises — guards the corners no other test touches."""
+
+import importlib
+import pkgutil
+
+import pytest
+
+import repro
+
+
+def _all_modules():
+    mods = ["repro"]
+    for info in pkgutil.walk_packages(repro.__path__, prefix="repro."):
+        mods.append(info.name)
+    return mods
+
+
+@pytest.mark.parametrize("name", _all_modules())
+def test_module_imports(name):
+    module = importlib.import_module(name)
+    assert module is not None
+
+
+@pytest.mark.parametrize("name", _all_modules())
+def test_dunder_all_resolves(name):
+    module = importlib.import_module(name)
+    for symbol in getattr(module, "__all__", []):
+        assert hasattr(module, symbol), f"{name}.__all__ lists missing {symbol!r}"
+
+
+def test_top_level_version():
+    assert repro.__version__
+
+
+def test_every_public_module_has_docstring():
+    for name in _all_modules():
+        module = importlib.import_module(name)
+        if name.endswith("__main__"):
+            continue
+        assert module.__doc__, f"{name} lacks a module docstring"

@@ -1,0 +1,163 @@
+"""Tests for repro.core.metrics."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.core.metrics import dice_coefficient, nrmse, psnr, relative_error, rmse, ssim
+
+finite_arrays = arrays(
+    np.float64,
+    st.tuples(st.integers(2, 8), st.integers(2, 8)),
+    elements=st.floats(-1e6, 1e6, allow_nan=False),
+)
+
+
+class TestRmse:
+    def test_identical_is_zero(self, smooth_field):
+        assert rmse(smooth_field, smooth_field) == 0.0
+
+    def test_known_value(self):
+        a = np.array([0.0, 0.0, 0.0, 0.0])
+        b = np.array([1.0, 1.0, 1.0, 1.0])
+        assert rmse(a, b) == pytest.approx(1.0)
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError, match="shape"):
+            rmse(np.zeros(3), np.zeros(4))
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            rmse(np.array([]), np.array([]))
+
+    @given(finite_arrays)
+    @settings(max_examples=30, deadline=None)
+    def test_symmetric(self, a):
+        b = a + 1.0
+        assert rmse(a, b) == pytest.approx(rmse(b, a))
+
+
+class TestNrmse:
+    def test_identical_is_zero(self, smooth_field):
+        assert nrmse(smooth_field, smooth_field) == 0.0
+
+    def test_normalisation_by_range(self):
+        a = np.array([0.0, 10.0])
+        b = np.array([1.0, 11.0])
+        # rmse = 1, range = 10 -> nrmse = 0.1
+        assert nrmse(a, b) == pytest.approx(0.1)
+
+    def test_constant_exact(self):
+        a = np.full(5, 3.0)
+        assert nrmse(a, a) == 0.0
+
+    def test_constant_inexact_is_inf(self):
+        a = np.full(5, 3.0)
+        assert nrmse(a, a + 1) == float("inf")
+
+    def test_scale_invariance(self, smooth_field):
+        """NRMSE is invariant to affine rescaling of both arrays."""
+        approx = smooth_field + 0.01
+        e1 = nrmse(smooth_field, approx)
+        e2 = nrmse(5 * smooth_field + 3, 5 * approx + 3)
+        assert e1 == pytest.approx(e2)
+
+
+class TestPsnr:
+    def test_exact_is_inf(self, smooth_field):
+        assert psnr(smooth_field, smooth_field) == float("inf")
+
+    def test_known_value(self):
+        a = np.array([10.0, -10.0])
+        b = np.array([9.0, -9.0])
+        # peak = 10, mse = 1 -> 10*log10(100) = 20 dB
+        assert psnr(a, b) == pytest.approx(20.0)
+
+    def test_more_noise_lower_psnr(self, smooth_field, rng):
+        small = smooth_field + 0.001 * rng.standard_normal(smooth_field.shape)
+        large = smooth_field + 0.1 * rng.standard_normal(smooth_field.shape)
+        assert psnr(smooth_field, small) > psnr(smooth_field, large)
+
+    def test_zero_signal(self):
+        a = np.zeros(4)
+        assert psnr(a, a + 1) == float("-inf")
+
+
+class TestRelativeError:
+    def test_exact(self):
+        assert relative_error(10.0, 10.0) == 0.0
+
+    def test_known(self):
+        assert relative_error(10.0, 12.0) == pytest.approx(0.2)
+
+    def test_zero_reference_zero_measured(self):
+        assert relative_error(0.0, 0.0) == 0.0
+
+    def test_zero_reference_nonzero(self):
+        assert relative_error(0.0, 1.0) == float("inf")
+
+
+class TestSsim:
+    def test_identical_is_one(self, smooth_field):
+        assert ssim(smooth_field, smooth_field) == pytest.approx(1.0)
+
+    def test_degrades_with_noise(self, smooth_field, rng):
+        noisy = smooth_field + 0.5 * rng.standard_normal(smooth_field.shape)
+        assert ssim(smooth_field, noisy) < 0.95
+
+    def test_bounded_above(self, smooth_field, rng):
+        noisy = smooth_field + rng.standard_normal(smooth_field.shape)
+        assert ssim(smooth_field, noisy) <= 1.0
+
+    def test_requires_2d(self):
+        with pytest.raises(ValueError, match="2-D"):
+            ssim(np.zeros(10), np.zeros(10))
+
+    def test_window_validation(self, smooth_field):
+        with pytest.raises(ValueError, match="window"):
+            ssim(smooth_field, smooth_field, window=10**6)
+
+    def test_constant_images(self):
+        a = np.full((16, 16), 2.0)
+        assert ssim(a, a.copy()) == 1.0
+        assert ssim(a, a + 1) == 0.0
+
+    def test_monotone_in_noise_level(self, smooth_field, rng):
+        noise = rng.standard_normal(smooth_field.shape)
+        scores = [ssim(smooth_field, smooth_field + s * noise) for s in (0.01, 0.1, 0.5)]
+        assert scores[0] > scores[1] > scores[2]
+
+
+class TestDice:
+    def test_identical_masks(self):
+        m = np.array([[True, False], [True, True]])
+        assert dice_coefficient(m, m) == 1.0
+
+    def test_disjoint_masks(self):
+        a = np.array([True, False, False])
+        b = np.array([False, True, True])
+        assert dice_coefficient(a, b) == 0.0
+
+    def test_both_empty(self):
+        z = np.zeros(4, dtype=bool)
+        assert dice_coefficient(z, z) == 1.0
+
+    def test_half_overlap(self):
+        a = np.array([True, True, False, False])
+        b = np.array([True, False, True, False])
+        assert dice_coefficient(a, b) == pytest.approx(0.5)
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            dice_coefficient(np.zeros(3, bool), np.zeros(4, bool))
+
+    @given(arrays(np.bool_, st.integers(1, 64)), arrays(np.bool_, st.integers(1, 64)))
+    @settings(max_examples=30, deadline=None)
+    def test_bounded_and_symmetric(self, a, b):
+        if a.shape != b.shape:
+            return
+        d = dice_coefficient(a, b)
+        assert 0.0 <= d <= 1.0
+        assert d == dice_coefficient(b, a)

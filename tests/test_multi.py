@@ -1,0 +1,66 @@
+"""Tests for repro.experiments.multi — multi-tenant scenarios."""
+
+import pytest
+
+from repro.experiments.config import ScenarioConfig
+from repro.experiments.multi import MultiScenarioResult, TenantSpec, run_multi_scenario
+
+FAST = ScenarioConfig(max_steps=6, decimation_ratio=256, ladder_bounds=(0.1, 0.01, 0.001))
+
+
+class TestValidation:
+    def test_empty_tenants(self):
+        with pytest.raises(ValueError):
+            run_multi_scenario([])
+
+    def test_duplicate_names(self):
+        with pytest.raises(ValueError, match="unique"):
+            run_multi_scenario([TenantSpec("a"), TenantSpec("a")])
+
+
+class TestTwoTenants:
+    @pytest.fixture(scope="class")
+    def result(self) -> MultiScenarioResult:
+        tenants = [
+            TenantSpec("interactive", priority=10.0, prescribed_bound=0.001, seed=1),
+            TenantSpec("offline", priority=1.0, prescribed_bound=0.001, seed=1),
+        ]
+        return run_multi_scenario(tenants, FAST)
+
+    def test_both_complete_all_steps(self, result):
+        assert len(result["interactive"].records) == 6
+        assert len(result["offline"].records) == 6
+
+    def test_priority_earns_heavier_weights(self, result):
+        assert result["interactive"].mean_weight > result["offline"].mean_weight
+
+    def test_qos_differentiation(self, result):
+        """At equal prescribed rungs, the high-priority tenant is faster
+        (or at worst equal within tolerance)."""
+        ratio = result.io_time_ratio("interactive", "offline")
+        assert ratio <= 1.2
+
+    def test_tenant_statistics(self, result):
+        t = result["interactive"]
+        assert t.mean_io_time > 0
+        assert t.std_io_time >= 0
+        assert t.mean_target_rung >= 1
+
+
+class TestMixedPolicies:
+    def test_policies_coexist(self):
+        tenants = [
+            TenantSpec("adaptive", policy="cross-layer"),
+            TenantSpec("static", policy="no-adaptivity"),
+        ]
+        result = run_multi_scenario(tenants, FAST)
+        assert result["adaptive"].mean_weight > 0
+        assert result["static"].mean_weight == 0.0
+
+    def test_different_apps(self):
+        tenants = [
+            TenantSpec("fusion", app="xgc"),
+            TenantSpec("astro", app="genasis"),
+        ]
+        result = run_multi_scenario(tenants, FAST)
+        assert set(result.tenants) == {"fusion", "astro"}

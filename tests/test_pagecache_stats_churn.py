@@ -1,0 +1,206 @@
+"""Tests for the page cache, device sampler, and churn workload."""
+
+import pytest
+
+from repro.containers import ContainerRuntime
+from repro.simkernel import Simulation, Timeout
+from repro.storage.cgroup import CgroupController
+from repro.storage.device import BlockDevice, DeviceSpec
+from repro.storage.pagecache import PageCache
+from repro.storage.stats import DeviceSampler
+from repro.storage.tier import TieredStorage
+from repro.util.units import GiB, MiB, mb_per_s, mb_to_bytes
+from repro.workloads.churn import ChurnSpec, launch_churn
+
+
+@pytest.fixture
+def cache(sim, device):
+    return PageCache(sim, device, dirty_limit=int(mb_to_bytes(200)))
+
+
+class TestPageCacheAbsorption:
+    def test_small_write_absorbs_instantly(self, sim, cache, cgroups):
+        cg = cgroups.create("w")
+        ev = cache.buffered_write(cg, int(mb_to_bytes(50)))
+        sim.step()  # only the zero-delay absorption callback
+        assert ev.triggered
+        assert sim.now == 0.0
+
+    def test_zero_byte_write(self, sim, cache, cgroups):
+        ev = cache.buffered_write(cgroups.create("w"), 0)
+        sim.run()
+        assert ev.triggered
+
+    def test_negative_rejected(self, cache, cgroups):
+        with pytest.raises(ValueError):
+            cache.buffered_write(cgroups.create("w"), -1)
+
+    def test_over_limit_write_blocks_until_drain(self, sim, cache, cgroups):
+        """A 400 MB write against a 200 MB dirty limit must wait for
+        writeback to retire pages."""
+        cg = cgroups.create("w")
+        ev = cache.buffered_write(cg, int(mb_to_bytes(400)))
+        sim.step()
+        assert not ev.triggered
+        assert cache.blocked_writers == 1
+        sim.run()
+        assert ev.triggered
+        # 200 MB had to drain at 200 MB/s before the rest fit: >= 1 s.
+        assert sim.now >= 1.0 - 1e-9
+
+    def test_bytes_conserved(self, sim, cache, cgroups):
+        cg = cgroups.create("w")
+        cache.buffered_write(cg, int(mb_to_bytes(500)))
+        sim.run()
+        assert cache.bytes_flushed == pytest.approx(mb_to_bytes(500))
+        assert cache.dirty_bytes == 0
+
+    def test_writer_released_before_flush_completes(self, sim, cache, cgroups):
+        """Absorption (write(2) return) precedes media durability."""
+        cg = cgroups.create("w")
+        ev = cache.buffered_write(cg, int(mb_to_bytes(100)))
+        sim.step()
+        assert ev.triggered
+        assert cache.dirty_bytes > 0  # flush still pending
+
+    def test_concurrent_writers_fifo(self, sim, cache, cgroups):
+        a, b = cgroups.create("a"), cgroups.create("b")
+        done = []
+        ev_a = cache.buffered_write(a, int(mb_to_bytes(300)))
+        ev_b = cache.buffered_write(b, int(mb_to_bytes(50)))
+        ev_a.add_callback(lambda e: done.append("a"))
+        ev_b.add_callback(lambda e: done.append("b"))
+        sim.run()
+        assert done == ["a", "b"]  # dirty throttling is FIFO
+
+    def test_flusher_traffic_uses_flusher_cgroup(self, sim, device, cgroups):
+        flusher = cgroups.create("flusher", 100)
+        cache = PageCache(sim, device, dirty_limit=64 * MiB, flusher_cgroup=flusher)
+        cache.buffered_write(cgroups.create("w"), int(mb_to_bytes(300)))
+        sim.run()
+        assert device.bytes_moved["write"] == pytest.approx(mb_to_bytes(300))
+
+    def test_validation(self, sim, device):
+        with pytest.raises(ValueError):
+            PageCache(sim, device, dirty_limit=0)
+        with pytest.raises(ValueError):
+            PageCache(sim, device, flush_chunk=0)
+
+
+class TestPageCacheSmoothing:
+    def test_burst_is_device_paced(self, sim, cgroups):
+        """The device drains the burst in flush-chunk submissions rather
+        than one giant write — the smoothing real checkpoints exhibit."""
+        spec = DeviceSpec(
+            "d", read_bw=mb_per_s(200), write_bw=mb_per_s(100),
+            seek_time=0.0, capacity=GiB,
+        )
+        device = BlockDevice(sim, spec)
+        cache = PageCache(sim, device, dirty_limit=GiB, flush_chunk=32 * MiB)
+        cache.buffered_write(cgroups.create("w"), int(mb_to_bytes(320)))
+        sim.run()
+        # Total drain time is the device time regardless of chunking.
+        assert sim.now == pytest.approx(mb_to_bytes(320) / mb_per_s(100), rel=1e-6)
+
+
+class TestDeviceSampler:
+    def test_samples_on_cadence(self, sim, device, cgroups):
+        sampler = DeviceSampler(sim, device, interval=1.0).start()
+        device.submit(cgroups.create("a"), int(mb_to_bytes(400)), "read")
+        sim.run(until=5.0)
+        assert len(sampler.samples) == 6  # t = 0..5
+
+    def test_rates_observed_during_io(self, sim, device, cgroups):
+        sampler = DeviceSampler(sim, device, interval=0.5).start()
+        device.submit(cgroups.create("a"), int(mb_to_bytes(400)), "read")
+        sim.run(until=3.0)
+        mid = [s for s in sampler.samples if 0.5 <= s.time <= 1.5]
+        assert all(s.read_rate == pytest.approx(mb_per_s(200)) for s in mid)
+        # After completion (t=2) the device is idle.
+        tail = [s for s in sampler.samples if s.time > 2.25]
+        assert all(s.total_rate == 0.0 for s in tail)
+
+    def test_busy_fraction_and_peak(self, sim, device, cgroups):
+        sampler = DeviceSampler(sim, device, interval=1.0).start()
+        device.submit(cgroups.create("a"), int(mb_to_bytes(200)), "read")
+        device.submit(cgroups.create("b"), int(mb_to_bytes(200)), "write")
+        sim.run(until=10.0)
+        assert 0.0 < sampler.busy_fraction() < 1.0
+        assert sampler.peak_concurrency() == 2
+
+    def test_double_start_rejected(self, sim, device):
+        sampler = DeviceSampler(sim, device).start()
+        with pytest.raises(RuntimeError):
+            sampler.start()
+
+    def test_utilisation(self, sim, device, cgroups):
+        sampler = DeviceSampler(sim, device, interval=1.0).start()
+        device.submit(cgroups.create("a"), int(mb_to_bytes(1000)), "read")
+        sim.run(until=3.0)
+        util = sampler.utilisation(mb_per_s(200))
+        assert util.max() == pytest.approx(1.0)
+
+
+class TestChurn:
+    def test_population_changes(self, sim):
+        storage = TieredStorage.two_tier_testbed(sim)
+        runtime = ContainerRuntime(sim)
+        counts = []
+        spec = ChurnSpec(arrival_rate=1 / 60.0, mean_lifetime=300.0)
+        launch_churn(runtime, storage.slowest, spec, seed=0,
+                     on_population_change=counts.append)
+        sim.run(until=3600.0)
+        assert counts, "jobs must arrive within an hour at 1/60 s^-1"
+        assert max(counts) >= 1
+        assert 0 in counts or counts[-1] >= 0  # departures happen too
+
+    def test_jobs_write_checkpoints(self, sim):
+        storage = TieredStorage.two_tier_testbed(sim)
+        runtime = ContainerRuntime(sim)
+        launch_churn(
+            runtime,
+            storage.slowest,
+            ChurnSpec(arrival_rate=1 / 30.0, mean_lifetime=600.0),
+            seed=1,
+        )
+        sim.run(until=2400.0)
+        assert storage.slowest.device.bytes_moved["write"] > 0
+
+    def test_max_concurrent_respected(self, sim):
+        storage = TieredStorage.two_tier_testbed(sim)
+        runtime = ContainerRuntime(sim)
+        counts = []
+        spec = ChurnSpec(arrival_rate=1 / 5.0, mean_lifetime=10_000.0, max_concurrent=3)
+        launch_churn(runtime, storage.slowest, spec, seed=0,
+                     on_population_change=counts.append)
+        sim.run(until=600.0)
+        assert max(counts) <= 3
+
+    def test_departed_jobs_clean_up(self, sim):
+        storage = TieredStorage.two_tier_testbed(sim)
+        runtime = ContainerRuntime(sim)
+        spec = ChurnSpec(arrival_rate=1 / 20.0, mean_lifetime=60.0)
+        launch_churn(runtime, storage.slowest, spec, seed=2)
+        sim.run(until=2000.0)
+        # Space from departed jobs' checkpoints is reclaimed: usage stays
+        # bounded by the concurrent population, not total arrivals.
+        used = storage.slowest.filesystem.used_bytes
+        assert used <= spec.max_concurrent * spec.size_range[1]
+
+    def test_spec_validation(self):
+        with pytest.raises(ValueError):
+            ChurnSpec(arrival_rate=0)
+        with pytest.raises(ValueError):
+            ChurnSpec(period_range=(100.0, 50.0))
+        with pytest.raises(ValueError):
+            ChurnSpec(max_concurrent=0)
+
+    def test_driver_interruptible(self, sim):
+        storage = TieredStorage.two_tier_testbed(sim)
+        runtime = ContainerRuntime(sim)
+        proc = launch_churn(runtime, storage.slowest, ChurnSpec(), seed=0)
+        sim.run(until=100.0)
+        if proc.is_alive:
+            proc.interrupt("end of experiment")
+        sim.run(until=101.0)
+        assert not proc.is_alive

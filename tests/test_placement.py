@@ -1,0 +1,61 @@
+"""Tests for repro.core.placement — capacity-aware tier planning."""
+
+import pytest
+
+from repro.core.error_control import ErrorMetric, build_ladder
+from repro.core.placement import plan_placement
+from repro.core.refactor import decompose
+
+
+@pytest.fixture
+def ladder(smooth_field):
+    dec = decompose(smooth_field, 4)
+    return build_ladder(dec, [0.1, 0.01, 0.001], ErrorMetric.NRMSE)
+
+
+class TestPlanPlacement:
+    def test_base_on_fastest_when_it_fits(self, ladder):
+        plan = plan_placement(ladder, [10**9, 10**12])
+        assert plan.base_tier == 0
+
+    def test_all_fit_on_fast_tier(self, ladder):
+        plan = plan_placement(ladder, [10**12])
+        assert plan.base_tier == 0
+        assert all(t == 0 for t in plan.bucket_tiers)
+
+    def test_overflow_to_slower_tier(self, ladder):
+        """A fast tier only big enough for the base pushes buckets down."""
+        cap_fast = ladder.base_nbytes + 10
+        plan = plan_placement(ladder, [cap_fast, 10**12])
+        assert plan.base_tier == 0
+        assert any(t == 1 for t in plan.bucket_tiers if ladder.buckets)
+
+    def test_bucket_tiers_monotone(self, ladder):
+        plan = plan_placement(ladder, [ladder.base_nbytes + 2000, 10**12])
+        tiers = list(plan.bucket_tiers)
+        assert tiers == sorted(tiers)
+
+    def test_bytes_per_tier_accounting(self, ladder):
+        caps = [10**9, 10**12]
+        plan = plan_placement(ladder, caps)
+        total = ladder.base_nbytes + sum(b.nbytes for b in ladder.buckets)
+        assert sum(plan.bytes_per_tier) == total
+
+    def test_does_not_fit_raises(self, ladder):
+        with pytest.raises(ValueError, match="does not fit"):
+            plan_placement(ladder, [10])
+
+    def test_no_tiers_rejected(self, ladder):
+        with pytest.raises(ValueError):
+            plan_placement(ladder, [])
+
+    def test_negative_capacity_rejected(self, ladder):
+        with pytest.raises(ValueError):
+            plan_placement(ladder, [-1, 10**12])
+
+    def test_tier_of_bucket(self, ladder):
+        plan = plan_placement(ladder, [10**12])
+        for m in range(1, len(plan.bucket_tiers) + 1):
+            assert plan.tier_of_bucket(m) == plan.bucket_tiers[m - 1]
+        with pytest.raises(IndexError):
+            plan.tier_of_bucket(0)

@@ -1,0 +1,86 @@
+"""Additional hypothesis property tests on cross-module invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.error_control import BYTES_PER_COEFFICIENT, ErrorMetric, build_ladder
+from repro.core.refactor import decompose, max_levels
+from repro.core.weights import BLKIO_WEIGHT_MAX, BLKIO_WEIGHT_MIN, WeightFunction
+from repro.simkernel import Simulation
+from repro.storage.staging import stage_dataset
+from repro.storage.tier import TieredStorage
+
+
+def _field(seed: int, ny: int, nx: int) -> np.ndarray:
+    rng = np.random.default_rng(seed)
+    x = np.linspace(0, 3, nx)
+    y = np.linspace(0, 3, ny)
+    return (
+        np.sin(2 * y)[:, None] * np.cos(3 * x)[None, :]
+        + 0.05 * rng.standard_normal((ny, nx))
+    )
+
+
+class TestWeightCalibrationProperty:
+    @given(
+        card_max=st.floats(10, 1e7),
+        eps_loose=st.floats(1e-3, 0.5),
+        eps_ratio=st.floats(1e-4, 0.5),
+        p_max=st.floats(2, 100),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_extremes_always_map_to_range_ends(self, card_max, eps_loose, eps_ratio, p_max):
+        """For any sane calibration ranges, the two extreme scenarios land
+        exactly on the Docker weight range ends."""
+        card_min = max(1.0, card_max / 100)
+        eps_tight = eps_loose * eps_ratio
+        wf = WeightFunction.calibrated(
+            ErrorMetric.NRMSE,
+            cardinality_range=(card_min, card_max),
+            accuracy_range=(eps_loose, eps_tight),
+            priority_range=(1.0, p_max),
+        )
+        assert wf(card_max, eps_loose, p_max) == BLKIO_WEIGHT_MAX
+        assert wf(card_min, eps_tight, 1.0) == BLKIO_WEIGHT_MIN
+
+
+class TestLadderStagingProperty:
+    @given(
+        seed=st.integers(0, 50),
+        ny=st.sampled_from([48, 64, 96]),
+        nx=st.sampled_from([48, 64, 96]),
+        levels=st.integers(2, 4),
+    )
+    @settings(max_examples=15, deadline=None)
+    def test_staged_bytes_account_exactly(self, seed, ny, nx, levels):
+        """For any field/hierarchy, staging allocates exactly the ladder's
+        byte inventory and every bucket file lands on a valid tier."""
+        field = _field(seed, ny, nx)
+        levels = min(levels, max_levels(field.shape))
+        ladder = build_ladder(decompose(field, levels), [0.1, 0.01], ErrorMetric.NRMSE)
+        sim = Simulation()
+        storage = TieredStorage.two_tier_testbed(sim)
+        ds = stage_dataset("p", ladder, storage)
+        used = sum(t.filesystem.used_bytes for t in storage.tiers)
+        expected = ladder.base_nbytes + sum(
+            max(b.cardinality * BYTES_PER_COEFFICIENT, 1) for b in ladder.buckets
+        )
+        assert used == expected
+        for m in range(1, ladder.num_buckets + 1):
+            assert ds.tier_of_bucket(m) in storage.tiers
+
+
+class TestDofAccountingProperty:
+    @given(seed=st.integers(0, 30))
+    @settings(max_examples=15, deadline=None)
+    def test_dof_fraction_caps_at_one(self, seed):
+        field = _field(seed, 64, 64)
+        ladder = build_ladder(
+            decompose(field, 3), [0.1, 0.01, 1e-4], ErrorMetric.NRMSE
+        )
+        # base + full stream equals all degrees of freedom exactly.
+        total = ladder.decomposition.base_size + ladder.stream_length
+        assert total == ladder.decomposition.original_size
+        assert ladder.dof_fraction(ladder.num_buckets) <= 1.0 + 1e-12

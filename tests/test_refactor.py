@@ -1,0 +1,290 @@
+"""Tests for repro.core.refactor — the hierarchical decomposition."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.refactor import (
+    Decomposition,
+    decompose,
+    levels_for_decimation,
+    max_levels,
+    prolongate,
+    recompose_full,
+    reconstruct_base_only,
+    restrict,
+)
+
+
+class TestRestrict:
+    def test_1d_even(self):
+        a = np.arange(8.0)
+        np.testing.assert_array_equal(restrict(a, 2), [0, 2, 4, 6])
+
+    def test_1d_odd(self):
+        a = np.arange(7.0)
+        np.testing.assert_array_equal(restrict(a, 2), [0, 2, 4, 6])
+
+    def test_2d_paper_example(self):
+        """The paper's Fig. 4 top-left corner correspondence."""
+        fine = np.arange(25.0).reshape(5, 5)
+        coarse = restrict(fine, 2)
+        assert coarse[0, 0] == fine[0, 0]
+        assert coarse[0, 1] == fine[0, 2]
+        assert coarse[1, 0] == fine[2, 0]
+        assert coarse[1, 1] == fine[2, 2]
+
+    def test_stride_4(self):
+        a = np.arange(16.0)
+        np.testing.assert_array_equal(restrict(a, 4), [0, 4, 8, 12])
+
+    def test_singleton_axis_passthrough(self):
+        a = np.ones((1, 8))
+        assert restrict(a, 2).shape == (1, 4)
+
+    def test_stride_below_2_rejected(self):
+        with pytest.raises(ValueError):
+            restrict(np.arange(4.0), 1)
+
+    def test_0d_rejected(self):
+        with pytest.raises(ValueError):
+            restrict(np.float64(3.0))
+
+    def test_3d(self):
+        a = np.arange(4 * 6 * 8, dtype=float).reshape(4, 6, 8)
+        assert restrict(a, 2).shape == (2, 3, 4)
+
+
+class TestProlongate:
+    def test_exact_on_coarse_points(self):
+        fine = np.sin(np.linspace(0, 3, 9))
+        coarse = restrict(fine, 2)
+        up = prolongate(coarse, fine.shape, 2)
+        np.testing.assert_allclose(up[::2], coarse)
+
+    def test_linear_midpoints_1d(self):
+        coarse = np.array([0.0, 2.0, 4.0])
+        up = prolongate(coarse, (5,), 2)
+        np.testing.assert_allclose(up, [0, 1, 2, 3, 4])
+
+    def test_linear_exact_for_linear_data(self):
+        """Linear interpolation reproduces linear fields exactly."""
+        x, y = np.meshgrid(np.arange(9.0), np.arange(9.0), indexing="ij")
+        fine = 2 * x + 3 * y + 1
+        coarse = restrict(fine, 2)
+        np.testing.assert_allclose(prolongate(coarse, fine.shape, 2), fine)
+
+    def test_2d_center_average(self):
+        """The paper's Fig. 4: the centre point is the 4-neighbour average."""
+        fine_shape = (3, 3)
+        coarse = np.array([[0.0, 2.0], [4.0, 6.0]])
+        up = prolongate(coarse, fine_shape, 2)
+        assert up[1, 1] == pytest.approx((0 + 2 + 4 + 6) / 4)
+
+    def test_clamped_tail(self):
+        """Fine points beyond the last coarse sample take its value."""
+        coarse = np.array([0.0, 2.0])  # covers fine indices 0..2 at d=2
+        up = prolongate(coarse, (4,), 2)
+        assert up[3] == pytest.approx(2.0)
+
+    def test_roundtrip_restriction(self, smooth_field):
+        coarse = restrict(smooth_field, 2)
+        up = prolongate(coarse, smooth_field.shape, 2)
+        np.testing.assert_allclose(restrict(up, 2), coarse)
+
+    def test_dimension_mismatch(self):
+        with pytest.raises(ValueError, match="dimensionality"):
+            prolongate(np.zeros((2, 2)), (4,), 2)
+
+    def test_inconsistent_sizes(self):
+        with pytest.raises(ValueError, match="inconsistent"):
+            prolongate(np.zeros(2), (100,), 2)
+
+    @given(
+        n=st.integers(3, 64),
+        d=st.sampled_from([2, 3, 4]),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_property_roundtrip_1d(self, n, d):
+        rng = np.random.default_rng(n * d)
+        fine = rng.random(n)
+        coarse = restrict(fine, d)
+        up = prolongate(coarse, fine.shape, d)
+        np.testing.assert_allclose(restrict(up, d), coarse)
+
+
+class TestMaxLevels:
+    def test_small(self):
+        assert max_levels((4,)) == 2
+
+    def test_power_of_two(self):
+        assert max_levels((256, 256)) == 8
+
+    def test_singleton(self):
+        assert max_levels((1,)) == 1
+
+    def test_mixed(self):
+        assert max_levels((256, 1)) == 8
+
+
+class TestLevelsForDecimation:
+    def test_ratio_one(self):
+        assert levels_for_decimation((64, 64), 1) == 1
+
+    def test_ratio_16_2d(self):
+        # 16 = 4^2: two extra levels in 2-D.
+        assert levels_for_decimation((256, 256), 16) == 3
+
+    def test_ratio_capped(self):
+        # Can't exceed the feasible hierarchy.
+        assert levels_for_decimation((8, 8), 10**9) <= max_levels((8, 8))
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            levels_for_decimation((64, 64), 0.5)
+
+    def test_monotone_in_ratio(self):
+        shapes = [levels_for_decimation((512, 512), r) for r in (4, 16, 64, 256)]
+        assert shapes == sorted(shapes)
+
+
+class TestDecompose:
+    def test_trivial_one_level(self, smooth_field):
+        dec = decompose(smooth_field, 1)
+        np.testing.assert_array_equal(dec.base, smooth_field)
+        assert dec.augmentations == []
+
+    def test_exact_reconstruction(self, smooth_field):
+        dec = decompose(smooth_field, 4)
+        np.testing.assert_allclose(recompose_full(dec), smooth_field, atol=1e-12)
+
+    def test_exact_reconstruction_1d(self):
+        data = np.sin(np.linspace(0, 10, 301))
+        dec = decompose(data, 5)
+        np.testing.assert_allclose(recompose_full(dec), data, atol=1e-12)
+
+    def test_exact_reconstruction_3d(self, rng):
+        data = rng.random((17, 12, 9))
+        dec = decompose(data, 3)
+        np.testing.assert_allclose(recompose_full(dec), data, atol=1e-12)
+
+    def test_shapes_chain(self, smooth_field):
+        dec = decompose(smooth_field, 3)
+        assert dec.shapes[0] == smooth_field.shape
+        for lo, hi in zip(dec.shapes[1:], dec.shapes[:-1]):
+            assert all(a <= b for a, b in zip(lo, hi))
+
+    def test_shared_points_zero_in_augmentation(self, smooth_field):
+        dec = decompose(smooth_field, 2)
+        aug = dec.augmentations[0]
+        np.testing.assert_allclose(aug[::2, ::2], 0.0, atol=1e-12)
+
+    def test_achieved_decimation(self):
+        dec = decompose(np.zeros((64, 64)), 3)
+        assert dec.achieved_decimation == pytest.approx(16.0)
+
+    def test_too_many_levels_rejected(self):
+        with pytest.raises(ValueError, match="exceeds"):
+            decompose(np.zeros((4, 4)), 10)
+
+    def test_zero_levels_rejected(self, smooth_field):
+        with pytest.raises(ValueError):
+            decompose(smooth_field, 0)
+
+    def test_aug_nonzero_count(self, smooth_field):
+        dec = decompose(smooth_field, 2)
+        n_shared = restrict(smooth_field, 2).size
+        assert dec.aug_nonzero_count(0) == smooth_field.size - n_shared
+
+    def test_base_error_decreases_with_fewer_levels(self, smooth_field):
+        errs = []
+        for levels in (2, 3, 4):
+            dec = decompose(smooth_field, levels)
+            errs.append(
+                float(np.abs(reconstruct_base_only(dec) - smooth_field).mean())
+            )
+        assert errs == sorted(errs)
+
+    @given(
+        ny=st.integers(4, 40),
+        nx=st.integers(4, 40),
+        levels=st.integers(1, 3),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_property_exact_recompose(self, ny, nx, levels):
+        rng = np.random.default_rng(ny * 1000 + nx)
+        data = rng.random((ny, nx))
+        dec = decompose(data, min(levels, max_levels(data.shape)))
+        np.testing.assert_allclose(recompose_full(dec), data, atol=1e-10)
+
+
+class TestPerLevelStrides:
+    """The paper's per-level decimation ratios d^l (Table III)."""
+
+    def test_mixed_strides_exact_recompose(self, smooth_field):
+        dec = decompose(smooth_field, 3, d=[2, 4])
+        np.testing.assert_allclose(recompose_full(dec), smooth_field, atol=1e-12)
+
+    def test_shapes_follow_strides(self):
+        dec = decompose(np.zeros((64, 64)), 3, d=[2, 4])
+        assert dec.shapes == [(64, 64), (32, 32), (8, 8)]
+        assert dec.stride(0) == 2 and dec.stride(1) == 4
+        assert dec.strides == (2, 4)
+
+    def test_uniform_strides_property(self, smooth_field):
+        dec = decompose(smooth_field, 3)
+        assert dec.strides == (2, 2)
+        assert dec.stride(1) == 2
+
+    def test_wrong_stride_count(self, smooth_field):
+        with pytest.raises(ValueError, match="per-level strides"):
+            decompose(smooth_field, 3, d=[2])
+
+    def test_stride_level_bounds(self, smooth_field):
+        dec = decompose(smooth_field, 3)
+        with pytest.raises(IndexError):
+            dec.stride(2)
+        with pytest.raises(IndexError):
+            dec.stride(-1)
+
+    def test_infeasible_strides_rejected(self):
+        with pytest.raises(ValueError, match="exceeds"):
+            decompose(np.zeros((8, 8)), 3, d=[8, 8])
+
+    def test_mixed_stride_ladder_bounds_hold(self, smooth_field):
+        from repro.core.error_control import ErrorMetric, build_ladder
+        from repro.core.metrics import nrmse
+
+        dec = decompose(smooth_field, 3, d=[2, 3])
+        ladder = build_ladder(dec, [0.1, 0.01], ErrorMetric.NRMSE)
+        for b in ladder.buckets:
+            assert nrmse(smooth_field, ladder.reconstruct(b.index)) <= b.bound * (1 + 1e-9)
+
+    def test_mixed_stride_serialization(self, smooth_field):
+        from repro.core.error_control import ErrorMetric, build_ladder
+        from repro.core.serialize import pack_ladder, unpack_ladder
+
+        dec = decompose(smooth_field, 3, d=[2, 3])
+        ladder = build_ladder(dec, [0.1, 0.01], ErrorMetric.NRMSE)
+        restored = unpack_ladder(pack_ladder(ladder))
+        assert restored.decomposition.strides == (2, 3)
+        np.testing.assert_allclose(restored.reconstruct(2), ladder.reconstruct(2))
+
+
+class TestDecompositionValidation:
+    def test_wrong_aug_count(self):
+        with pytest.raises(ValueError, match="augmentations"):
+            Decomposition(
+                base=np.zeros((2, 2)),
+                augmentations=[],
+                shapes=[(4, 4), (2, 2)],
+            )
+
+    def test_wrong_base_shape(self):
+        with pytest.raises(ValueError, match="base shape"):
+            Decomposition(
+                base=np.zeros((3, 3)),
+                augmentations=[np.zeros((4, 4))],
+                shapes=[(4, 4), (2, 2)],
+            )

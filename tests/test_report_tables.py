@@ -1,0 +1,63 @@
+"""Tests for repro.experiments.report and repro.experiments.tables."""
+
+import pytest
+
+from repro.experiments.report import format_series, format_table, pct
+from repro.experiments.tables import TABLE_I, TABLE_II, table1_text, table2_text, table4_text
+
+
+class TestFormatTable:
+    def test_alignment_and_header(self):
+        text = format_table(["A", "Bee"], [(1, "x"), (22, "yy")], title="T")
+        lines = text.split("\n")
+        assert lines[0] == "T"
+        assert lines[1].startswith("A")
+        assert "--" in lines[2]
+        assert len(lines) == 5
+
+    def test_row_width_mismatch(self):
+        with pytest.raises(ValueError):
+            format_table(["A", "B"], [(1,)])
+
+    def test_float_formatting(self):
+        text = format_table(["x"], [(3.14159,)])
+        assert "3.142" in text
+
+    def test_integral_float_rendered_as_int(self):
+        text = format_table(["x"], [(4.0,)])
+        assert "4" in text.split("\n")[-1]
+
+
+class TestFormatSeries:
+    def test_pairs(self):
+        assert format_series("s", [1, 2], [0.5, 0.75]) == "s: 1:0.50, 2:0.75"
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            format_series("s", [1], [1, 2])
+
+
+class TestPct:
+    def test_positive(self):
+        assert pct(0.52) == "+52%"
+
+    def test_negative(self):
+        assert pct(-0.1) == "-10%"
+
+
+class TestPaperTables:
+    def test_table1_only_cgroups_has_per_app_control(self):
+        """The paper's Motivation 1: no HPC file system gives per-app QoS."""
+        per_app = {row[0]: row[1] for row in TABLE_I}
+        assert per_app["Ext4 with cgroups"] is True
+        assert all(not v for k, v in per_app.items() if k != "Ext4 with cgroups")
+
+    def test_table2_only_tango_is_cross_layer(self):
+        both = [w for w, s, a, _ in TABLE_II if s and a]
+        assert both == ["Tango"]
+
+    def test_table_texts_render(self):
+        assert "Lustre" in table1_text()
+        assert "Tango" in table2_text()
+        assert "768 MB" in table4_text()
+        assert "120 secs" in table4_text()

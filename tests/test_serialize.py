@@ -1,0 +1,129 @@
+"""Tests for repro.core.serialize — the on-disk refactored format."""
+
+import numpy as np
+import pytest
+
+from repro.core.error_control import ErrorMetric, build_ladder
+from repro.core.metrics import nrmse
+from repro.core.refactor import decompose, recompose_full
+from repro.core.serialize import (
+    FORMAT_MAGIC,
+    header_of,
+    pack_ladder,
+    payload_size_through,
+    unpack_ladder,
+    unpack_partial,
+)
+
+
+@pytest.fixture
+def ladder(smooth_field):
+    dec = decompose(smooth_field, 4)
+    return build_ladder(dec, [0.1, 0.01, 0.001], ErrorMetric.NRMSE)
+
+
+@pytest.fixture
+def payload(ladder):
+    return pack_ladder(ladder)
+
+
+class TestRoundTrip:
+    def test_header(self, payload, ladder):
+        header = header_of(payload)
+        assert header["stream_length"] == ladder.stream_length
+        assert header["metric"] == "nrmse"
+        assert len(header["buckets"]) == ladder.num_buckets
+
+    def test_exact_stream(self, payload, ladder):
+        restored = unpack_ladder(payload)
+        np.testing.assert_array_equal(
+            restored._stream_positions, ladder._stream_positions
+        )
+        np.testing.assert_allclose(restored._stream_values, ladder._stream_values)
+
+    def test_base_preserved(self, payload, ladder):
+        restored = unpack_ladder(payload)
+        np.testing.assert_allclose(restored.decomposition.base, ladder.decomposition.base)
+
+    def test_full_reconstruction_identical(self, payload, ladder, smooth_field):
+        restored = unpack_ladder(payload)
+        np.testing.assert_allclose(
+            recompose_full(restored.decomposition), smooth_field, atol=1e-10
+        )
+
+    def test_rung_reconstructions_match(self, payload, ladder):
+        restored = unpack_ladder(payload)
+        for m in range(ladder.num_buckets + 1):
+            np.testing.assert_allclose(restored.reconstruct(m), ladder.reconstruct(m))
+
+    def test_bucket_table_preserved(self, payload, ladder):
+        restored = unpack_ladder(payload)
+        for a, b in zip(restored.buckets, ladder.buckets):
+            assert (a.index, a.bound, a.start, a.stop, a.finest_level) == (
+                b.index, b.bound, b.start, b.stop, b.finest_level
+            )
+
+    def test_psnr_metric_roundtrip(self, smooth_field):
+        dec = decompose(smooth_field, 3)
+        ladder = build_ladder(dec, [30.0, 50.0], ErrorMetric.PSNR)
+        restored = unpack_ladder(pack_ladder(ladder))
+        assert restored.metric is ErrorMetric.PSNR
+
+
+class TestPartial:
+    def test_prefix_through_bucket(self, payload, ladder, smooth_field):
+        """A payload cut at rung m's boundary reconstructs rung m exactly."""
+        for m in range(ladder.num_buckets + 1):
+            size = payload_size_through(ladder, m)
+            restored = unpack_partial(payload[:size])
+            np.testing.assert_allclose(restored.reconstruct(m), ladder.reconstruct(m))
+            if m > 0 and ladder.bucket(m).cardinality > 0:
+                err = nrmse(smooth_field, restored.reconstruct(m))
+                assert err <= ladder.bucket(m).bound * (1 + 1e-9)
+
+    def test_bucket_table_clipped(self, payload, ladder):
+        size = payload_size_through(ladder, 1)
+        restored = unpack_partial(payload[:size])
+        assert len(restored.buckets) <= ladder.num_buckets
+        assert all(b.stop <= restored.stream_length for b in restored.buckets)
+
+    def test_arbitrary_byte_prefix_is_valid(self, payload, ladder):
+        """Any cut point past the base yields a loadable object."""
+        base_size = payload_size_through(ladder, 0)
+        for extra in (0, 7, 160, 161, 1601):
+            restored = unpack_partial(payload[: base_size + extra])
+            assert restored.stream_length <= ladder.stream_length
+            restored.reconstruct_at_cut(restored.stream_length)
+
+    def test_full_payload_via_partial(self, payload, ladder):
+        restored = unpack_partial(payload)
+        assert restored.stream_length == ladder.stream_length
+
+    def test_unpack_ladder_rejects_prefix(self, payload, ladder):
+        size = payload_size_through(ladder, 1)
+        with pytest.raises(ValueError, match="unpack_partial"):
+            unpack_ladder(payload[:size])
+
+
+class TestValidation:
+    def test_bad_magic(self, payload):
+        with pytest.raises(ValueError, match="magic"):
+            header_of(b"XXXX" + payload[4:])
+
+    def test_too_short(self):
+        with pytest.raises(ValueError, match="too short"):
+            header_of(b"TN")
+
+    def test_truncated_header(self, payload):
+        with pytest.raises(ValueError, match="header"):
+            header_of(payload[:12])
+
+    def test_truncated_base(self, payload):
+        header = header_of(payload)
+        with pytest.raises(ValueError, match="base"):
+            unpack_partial(payload[: header["_header_end"] + 8])
+
+    def test_sizes_monotone(self, ladder):
+        sizes = [payload_size_through(ladder, m) for m in range(ladder.num_buckets + 1)]
+        assert sizes == sorted(sizes)
+        assert sizes[-1] <= len(pack_ladder(ladder))

@@ -1,0 +1,252 @@
+"""Tests for repro.simkernel — the discrete-event engine."""
+
+import pytest
+
+from repro.simkernel import (
+    Event,
+    EventAlreadyTriggered,
+    Interrupt,
+    Process,
+    SimError,
+    Simulation,
+    Timeout,
+)
+
+
+class TestScheduling:
+    def test_clock_starts_at_zero(self, sim):
+        assert sim.now == 0.0
+
+    def test_callbacks_run_in_time_order(self, sim):
+        order = []
+        sim.schedule(2.0, order.append, "b")
+        sim.schedule(1.0, order.append, "a")
+        sim.schedule(3.0, order.append, "c")
+        sim.run()
+        assert order == ["a", "b", "c"]
+
+    def test_fifo_at_equal_times(self, sim):
+        order = []
+        for tag in "abc":
+            sim.schedule(1.0, order.append, tag)
+        sim.run()
+        assert order == ["a", "b", "c"]
+
+    def test_clock_advances_to_callback_time(self, sim):
+        seen = []
+        sim.schedule(5.0, lambda: seen.append(sim.now))
+        sim.run()
+        assert seen == [5.0]
+
+    def test_negative_delay_rejected(self, sim):
+        with pytest.raises(SimError):
+            sim.schedule(-1.0, lambda: None)
+
+    def test_schedule_in_past_rejected(self, sim):
+        sim.schedule(5.0, lambda: None)
+        sim.run()
+        with pytest.raises(SimError):
+            sim.schedule_at(1.0, lambda: None)
+
+    def test_cancel(self, sim):
+        fired = []
+        handle = sim.schedule(1.0, fired.append, 1)
+        handle.cancel()
+        sim.run()
+        assert fired == []
+
+    def test_pending_count_skips_cancelled(self, sim):
+        h1 = sim.schedule(1.0, lambda: None)
+        sim.schedule(2.0, lambda: None)
+        h1.cancel()
+        assert sim.pending_count == 1
+
+    def test_nested_scheduling(self, sim):
+        seen = []
+        def outer():
+            seen.append(("outer", sim.now))
+            sim.schedule(1.0, inner)
+        def inner():
+            seen.append(("inner", sim.now))
+        sim.schedule(1.0, outer)
+        sim.run()
+        assert seen == [("outer", 1.0), ("inner", 2.0)]
+
+
+class TestRunUntil:
+    def test_stops_before_future_events(self, sim):
+        fired = []
+        sim.schedule(10.0, fired.append, 1)
+        sim.run(until=5.0)
+        assert fired == [] and sim.now == 5.0
+
+    def test_future_events_survive(self, sim):
+        fired = []
+        sim.schedule(10.0, fired.append, 1)
+        sim.run(until=5.0)
+        sim.run()
+        assert fired == [1]
+
+    def test_until_in_past_rejected(self, sim):
+        sim.schedule(5.0, lambda: None)
+        sim.run()
+        with pytest.raises(SimError):
+            sim.run(until=1.0)
+
+    def test_peek(self, sim):
+        assert sim.peek() == float("inf")
+        sim.schedule(3.0, lambda: None)
+        assert sim.peek() == 3.0
+
+
+class TestEvents:
+    def test_succeed_delivers_value(self, sim):
+        ev = sim.event()
+        got = []
+        ev.add_callback(lambda e: got.append(e.value))
+        ev.succeed("payload")
+        assert got == ["payload"] and ev.ok
+
+    def test_late_callback_fires_immediately(self, sim):
+        ev = sim.event().succeed(7)
+        got = []
+        ev.add_callback(lambda e: got.append(e.value))
+        assert got == [7]
+
+    def test_double_trigger_rejected(self, sim):
+        ev = sim.event().succeed()
+        with pytest.raises(EventAlreadyTriggered):
+            ev.succeed()
+        with pytest.raises(EventAlreadyTriggered):
+            ev.fail(RuntimeError("x"))
+
+    def test_fail_records_exception(self, sim):
+        ev = sim.event()
+        exc = RuntimeError("boom")
+        ev.fail(exc)
+        assert ev.triggered and not ev.ok and ev.exception is exc
+
+    def test_fail_requires_exception(self, sim):
+        with pytest.raises(TypeError):
+            sim.event().fail("not an exception")
+
+    def test_timeout_event(self, sim):
+        ev = sim.timeout(4.0, "done")
+        sim.run()
+        assert ev.triggered and ev.value == "done" and sim.now == 4.0
+
+
+class TestProcesses:
+    def test_timeout_sequencing(self, sim):
+        trace = []
+        def proc():
+            trace.append(sim.now)
+            yield Timeout(2.0)
+            trace.append(sim.now)
+            yield Timeout(3.0)
+            trace.append(sim.now)
+        sim.process(proc())
+        sim.run()
+        assert trace == [0.0, 2.0, 5.0]
+
+    def test_result_captured(self, sim):
+        def proc():
+            yield Timeout(1.0)
+            return 42
+        p = sim.process(proc())
+        sim.run()
+        assert p.result == 42 and not p.is_alive
+
+    def test_wait_on_event_gets_value(self, sim):
+        ev = sim.event()
+        got = []
+        def waiter():
+            val = yield ev
+            got.append((sim.now, val))
+        sim.process(waiter())
+        sim.schedule(3.0, ev.succeed, "x")
+        sim.run()
+        assert got == [(3.0, "x")]
+
+    def test_wait_on_process(self, sim):
+        def child():
+            yield Timeout(5.0)
+            return "child-result"
+        def parent():
+            result = yield sim.process(child())
+            return (sim.now, result)
+        p = sim.process(parent())
+        sim.run()
+        assert p.result == (5.0, "child-result")
+
+    def test_failed_event_raises_inside(self, sim):
+        ev = sim.event()
+        caught = []
+        def proc():
+            try:
+                yield ev
+            except RuntimeError as e:
+                caught.append(str(e))
+        sim.process(proc())
+        sim.schedule(1.0, ev.fail, RuntimeError("io error"))
+        sim.run()
+        assert caught == ["io error"]
+
+    def test_interrupt_cancels_timeout(self, sim):
+        trace = []
+        def sleeper():
+            try:
+                yield Timeout(100.0)
+                trace.append("woke")
+            except Interrupt as i:
+                trace.append(f"interrupted:{i.cause}")
+        p = sim.process(sleeper())
+        sim.schedule(1.0, p.interrupt, "shutdown")
+        sim.run()
+        assert trace == ["interrupted:shutdown"]
+        assert sim.now < 100.0
+
+    def test_unhandled_interrupt_terminates(self, sim):
+        def sleeper():
+            yield Timeout(100.0)
+        p = sim.process(sleeper())
+        sim.schedule(1.0, p.interrupt)
+        sim.run()
+        assert not p.is_alive
+
+    def test_interrupt_dead_process_rejected(self, sim):
+        def quick():
+            yield Timeout(0.0)
+        p = sim.process(quick())
+        sim.run()
+        with pytest.raises(RuntimeError):
+            p.interrupt()
+
+    def test_non_generator_rejected(self, sim):
+        with pytest.raises(TypeError):
+            Process(sim, lambda: None)
+
+    def test_yield_garbage_raises_inside(self, sim):
+        errors = []
+        def proc():
+            try:
+                yield 12345
+            except TypeError as e:
+                errors.append("caught")
+        sim.process(proc())
+        sim.run()
+        assert errors == ["caught"]
+
+    def test_timeout_negative_rejected(self):
+        with pytest.raises(ValueError):
+            Timeout(-1.0)
+
+    def test_process_waitable_via_callback(self, sim):
+        def quick():
+            yield Timeout(1.0)
+            return "ok"
+        p = sim.process(quick())
+        got = []
+        p.add_callback(lambda e: got.append(e.value))
+        sim.run()
+        assert got == ["ok"]

@@ -1,0 +1,90 @@
+"""Tests for repro.experiments.stats and result percentiles."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.config import ScenarioConfig
+from repro.experiments.runner import run_scenario
+from repro.experiments.stats import ReplicationStats, compare, replicate
+
+FAST = dict(max_steps=8)
+
+
+class TestReplicationStats:
+    def test_single_value(self):
+        s = ReplicationStats(values=(5.0,))
+        assert s.mean == 5.0 and s.std == 0.0 and s.ci95() == (5.0, 5.0)
+
+    def test_known_statistics(self):
+        s = ReplicationStats(values=(1.0, 2.0, 3.0))
+        assert s.mean == 2.0
+        assert s.std == pytest.approx(1.0)
+        assert s.sem == pytest.approx(1.0 / np.sqrt(3))
+
+    def test_ci_contains_mean(self):
+        s = ReplicationStats(values=(1.0, 2.0, 3.0, 4.0))
+        lo, hi = s.ci95()
+        assert lo < s.mean < hi
+
+    def test_ci_shrinks_with_n(self):
+        narrow = ReplicationStats(values=tuple(float(x % 3) for x in range(30)))
+        wide = ReplicationStats(values=(0.0, 1.0, 2.0))
+        assert (narrow.ci95()[1] - narrow.ci95()[0]) < (wide.ci95()[1] - wide.ci95()[0])
+
+
+class TestReplicate:
+    def test_runs_per_seed(self):
+        cfg = ScenarioConfig(policy="cross-layer", **FAST)
+        s = replicate(cfg, seeds=[0, 1])
+        assert s.n == 2
+        assert all(v > 0 for v in s.values)
+
+    def test_deterministic(self):
+        cfg = ScenarioConfig(policy="cross-layer", **FAST)
+        assert replicate(cfg, [0]).values == replicate(cfg, [0]).values
+
+    def test_custom_metric(self):
+        cfg = ScenarioConfig(policy="no-adaptivity", **FAST)
+        s = replicate(cfg, [0], metric=lambda r: r.mean_target_rung)
+        assert s.values[0] == pytest.approx(4.0)
+
+    def test_empty_seeds(self):
+        with pytest.raises(ValueError):
+            replicate(ScenarioConfig(**FAST), [])
+
+
+class TestCompare:
+    def test_paired_comparison_favours_cross_layer(self):
+        out = compare(
+            ScenarioConfig(policy="cross-layer", max_steps=25, error_control=False),
+            ScenarioConfig(policy="no-adaptivity", max_steps=25, error_control=False),
+            seeds=[0, 1, 2],
+        )
+        assert out["mean_diff"] < 0
+        assert out["win_rate_a"] >= 2 / 3
+
+
+class TestPercentiles:
+    def test_percentiles_ordered(self):
+        res = run_scenario(ScenarioConfig(policy="no-adaptivity", max_steps=20))
+        p50 = res.io_time_percentile(50)
+        p95 = res.io_time_percentile(95)
+        assert p50 <= p95
+        assert res.io_time_percentile(100) == pytest.approx(res.io_times.max())
+
+    def test_validation(self):
+        res = run_scenario(ScenarioConfig(**FAST))
+        with pytest.raises(ValueError):
+            res.io_time_percentile(101)
+
+
+class TestTierOrderValidation:
+    def test_wrong_order_rejected(self, sim):
+        from repro.storage.device import DEVICE_PRESETS
+        from repro.storage.tier import TieredStorage
+
+        with pytest.raises(ValueError, match="slowest-first"):
+            TieredStorage(
+                sim,
+                [DEVICE_PRESETS["intel-ssd-400"], DEVICE_PRESETS["seagate-hdd-2t"]],
+            )

@@ -1,0 +1,171 @@
+"""Randomised stress tests: conservation and liveness invariants of the
+simulated storage stack under arbitrary schedules."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.simkernel import Simulation, Timeout
+from repro.storage.cgroup import CgroupController
+from repro.storage.device import BlockDevice, DeviceSpec
+from repro.util.units import GiB, mb_per_s
+
+
+def _spec(thrash=0.0, mixed=0.0, floor=0.0, wb=None):
+    return DeviceSpec(
+        name="stress",
+        read_bw=mb_per_s(180),
+        write_bw=mb_per_s(90),
+        seek_time=0.002,
+        capacity=8 * GiB,
+        concurrency_thrash=thrash,
+        mixed_penalty=mixed,
+        write_floor_bps=floor,
+        writeback_weight=wb,
+    )
+
+
+@st.composite
+def random_schedule(draw):
+    """A random set of I/O submissions: (delay, size_mb, direction, weight)."""
+    n = draw(st.integers(1, 12))
+    jobs = []
+    for _ in range(n):
+        jobs.append(
+            (
+                draw(st.floats(0.0, 30.0)),
+                draw(st.integers(1, 400)),
+                draw(st.sampled_from(["read", "write"])),
+                draw(st.integers(100, 1000)),
+            )
+        )
+    return jobs
+
+
+class TestDeviceStress:
+    @given(jobs=random_schedule(), knobs=st.sampled_from([
+        (0.0, 0.0, 0.0, None),
+        (0.25, 0.0, 0.0, None),
+        (0.15, 0.25, mb_per_s(10), None),
+        (0.15, 0.25, mb_per_s(10), 300.0),
+    ]))
+    @settings(max_examples=40, deadline=None)
+    def test_all_requests_complete_and_bytes_conserved(self, jobs, knobs):
+        """Every submitted request eventually completes, the device never
+        loses or invents bytes, and the clock never runs away."""
+        thrash, mixed, floor, wb = knobs
+        sim = Simulation()
+        device = BlockDevice(sim, _spec(thrash, mixed, floor, wb))
+        cgroups = CgroupController()
+        done = []
+
+        def submit_later(idx, delay, mb, direction, weight):
+            yield Timeout(delay)
+            cg = cgroups.create(f"cg{idx}", weight)
+            stats = yield device.submit(cg, mb * 10**6, direction)
+            done.append(stats)
+
+        for i, (delay, mb, direction, weight) in enumerate(jobs):
+            sim.process(submit_later(i, delay, mb, direction, weight))
+        sim.run()
+
+        assert len(done) == len(jobs), "a request was lost"
+        assert device.active_stream_count == 0
+        total_submitted = sum(mb * 10**6 for _, mb, _, _ in jobs)
+        total_moved = sum(device.bytes_moved.values())
+        assert total_moved == pytest.approx(total_submitted, rel=1e-9)
+        # Liveness: everything finishes within a generous physical bound.
+        worst_rate = mb_per_s(90) / (1 + thrash * len(jobs)) / (1 + mixed) / 20
+        assert sim.now < 60.0 + total_submitted / worst_rate
+
+    @given(jobs=random_schedule())
+    @settings(max_examples=25, deadline=None)
+    def test_completion_times_respect_physics(self, jobs):
+        """No request finishes faster than its solo transfer time."""
+        sim = Simulation()
+        device = BlockDevice(sim, _spec())
+        cgroups = CgroupController()
+        done = {}
+
+        def submit_later(idx, delay, mb, direction, weight):
+            yield Timeout(delay)
+            cg = cgroups.create(f"cg{idx}", weight)
+            stats = yield device.submit(cg, mb * 10**6, direction)
+            done[idx] = stats
+
+        for i, (delay, mb, direction, weight) in enumerate(jobs):
+            sim.process(submit_later(i, delay, mb, direction, weight))
+        sim.run()
+
+        for i, (_, mb, direction, _) in enumerate(jobs):
+            peak = device.spec.peak(direction)
+            solo = mb * 10**6 / peak
+            assert done[i].service_time >= solo * (1 - 1e-9)
+
+    @given(
+        weights=st.lists(st.integers(100, 1000), min_size=2, max_size=5),
+        changes=st.lists(
+            st.tuples(st.floats(0.1, 8.0), st.integers(0, 4), st.integers(100, 1000)),
+            max_size=6,
+        ),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_runtime_weight_churn_never_stalls(self, weights, changes):
+        """Arbitrary mid-flight weight changes never strand a stream."""
+        sim = Simulation()
+        device = BlockDevice(sim, _spec(thrash=0.2))
+        cgroups = CgroupController()
+        groups = [cgroups.create(f"cg{i}", w) for i, w in enumerate(weights)]
+        done = []
+
+        def reader(cg):
+            stats = yield device.submit(cg, 100 * 10**6, "read")
+            done.append(stats)
+
+        for cg in groups:
+            sim.process(reader(cg))
+
+        def churner():
+            for delay, idx, weight in changes:
+                yield Timeout(delay)
+                groups[idx % len(groups)].set_blkio_weight(weight)
+
+        sim.process(churner())
+        sim.run()
+        assert len(done) == len(groups)
+        assert device.active_stream_count == 0
+
+
+class TestSimkernelStress:
+    @given(
+        delays=st.lists(st.floats(0.0, 100.0), min_size=1, max_size=50),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_event_order_is_time_order(self, delays):
+        sim = Simulation()
+        fired = []
+        for d in delays:
+            sim.schedule(d, lambda t=d: fired.append(t))
+        sim.run()
+        assert len(fired) == len(delays)
+        assert fired == sorted(fired)
+
+    @given(
+        spec=st.lists(
+            st.tuples(st.floats(0.0, 50.0), st.booleans()), min_size=1, max_size=30
+        )
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_cancellations_respected(self, spec):
+        sim = Simulation()
+        fired = []
+        handles = []
+        for i, (d, cancel) in enumerate(spec):
+            handles.append((sim.schedule(d, fired.append, i), cancel))
+        for h, cancel in handles:
+            if cancel:
+                h.cancel()
+        sim.run()
+        expected = [i for i, (_, cancel) in enumerate(spec) if not cancel]
+        assert sorted(fired) == expected

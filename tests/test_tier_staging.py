@@ -1,0 +1,145 @@
+"""Tests for repro.storage.tier and repro.storage.staging."""
+
+import pytest
+
+from repro.core.error_control import BYTES_PER_COEFFICIENT, ErrorMetric, build_ladder
+from repro.core.refactor import decompose
+from repro.simkernel import Simulation
+from repro.storage.device import DEVICE_PRESETS, DeviceSpec
+from repro.storage.staging import stage_dataset
+from repro.storage.tier import TieredStorage
+from repro.util.units import GiB, mb_per_s
+
+
+@pytest.fixture
+def storage(sim):
+    return TieredStorage.two_tier_testbed(sim)
+
+
+@pytest.fixture
+def ladder(smooth_field):
+    dec = decompose(smooth_field, 4)
+    return build_ladder(dec, [0.1, 0.01, 0.001], ErrorMetric.NRMSE)
+
+
+class TestTieredStorage:
+    def test_testbed_has_two_tiers(self, storage):
+        assert storage.num_tiers == 2
+
+    def test_ordering_slowest_first(self, storage):
+        assert storage.slowest.device.spec.kind == "hdd"
+        assert storage.fastest.device.spec.kind == "ssd"
+        assert storage[0] is storage.slowest
+        assert storage[1] is storage.fastest
+
+    def test_tier_names(self, storage):
+        assert storage.slowest.name.startswith("ST^0")
+        assert storage.fastest.name.startswith("ST^1")
+
+    def test_tier_for_level(self, storage):
+        # Level 0 (finest augmentation) -> capacity tier.
+        assert storage.tier_for_level(0) is storage.slowest
+        # Deeper levels clamp to the fastest tier.
+        assert storage.tier_for_level(1) is storage.fastest
+        assert storage.tier_for_level(5) is storage.fastest
+
+    def test_negative_level_rejected(self, storage):
+        with pytest.raises(ValueError):
+            storage.tier_for_level(-1)
+
+    def test_empty_specs_rejected(self, sim):
+        with pytest.raises(ValueError):
+            TieredStorage(sim, [])
+
+    def test_three_tier_hierarchy(self, sim):
+        specs = [
+            DEVICE_PRESETS["seagate-hdd-2t"],
+            DEVICE_PRESETS["intel-ssd-400"],
+            DeviceSpec("nvme", read_bw=mb_per_s(2000), write_bw=mb_per_s(1500),
+                       seek_time=0.0, capacity=100 * GiB, kind="ssd"),
+        ]
+        storage = TieredStorage(sim, specs)
+        assert storage.num_tiers == 3
+        assert storage.tier_for_level(1).index == 1
+
+
+class TestStaging:
+    def test_base_on_fastest_tier(self, storage, ladder):
+        ds = stage_dataset("job", ladder, storage)
+        assert ds.base_tier is storage.fastest
+        assert ds.base_filename in storage.fastest.filesystem
+
+    def test_buckets_on_their_levels(self, storage, ladder):
+        ds = stage_dataset("job", ladder, storage)
+        for bkt in ladder.buckets:
+            expected = storage.tier_for_level(bkt.finest_level)
+            assert ds.tier_of_bucket(bkt.index) is expected
+            assert ds.bucket_filename(bkt.index) in expected.filesystem
+
+    def test_size_scale_applied(self, storage, ladder):
+        ds = stage_dataset("job", ladder, storage, size_scale=100.0)
+        f = storage.fastest.filesystem.get(ds.base_filename)
+        assert f.size == ds.scaled(ladder.base_nbytes)
+        assert f.size == pytest.approx(ladder.base_nbytes * 100, abs=1)
+
+    def test_scaled_of_zero(self, storage, ladder):
+        ds = stage_dataset("job", ladder, storage, size_scale=7.0)
+        assert ds.scaled(0) == 0
+        assert ds.scaled(1) == 7
+
+    def test_invalid_scale(self, storage, ladder):
+        with pytest.raises(ValueError):
+            stage_dataset("job", ladder, storage, size_scale=0.0)
+
+    def test_total_staged_bytes(self, storage, ladder):
+        ds = stage_dataset("job", ladder, storage)
+        expected = ladder.base_nbytes + sum(b.nbytes for b in ladder.buckets)
+        assert ds.total_staged_bytes == expected
+
+    def test_read_base_event(self, sim, storage, ladder, cgroups):
+        ds = stage_dataset("job", ladder, storage)
+        cg = cgroups.create("a")
+        done = {}
+
+        def waiter(ev):
+            stats = yield ev
+            done["s"] = stats
+
+        sim.process(waiter(ds.read_base(cg)))
+        sim.run()
+        assert done["s"].nbytes == ladder.base_nbytes
+
+    def test_read_bucket_event(self, sim, storage, ladder, cgroups):
+        ds = stage_dataset("job", ladder, storage)
+        cg = cgroups.create("a")
+        heavy = max(ladder.buckets, key=lambda b: b.cardinality)
+        done = {}
+
+        def waiter(ev):
+            stats = yield ev
+            done["s"] = stats
+
+        sim.process(waiter(ds.read_bucket(heavy.index, cg)))
+        sim.run()
+        assert done["s"].nbytes == heavy.cardinality * BYTES_PER_COEFFICIENT
+
+    def test_bucket_index_bounds(self, storage, ladder):
+        ds = stage_dataset("job", ladder, storage)
+        with pytest.raises(IndexError):
+            ds.tier_of_bucket(0)
+        with pytest.raises(IndexError):
+            ds.tier_of_bucket(99)
+
+    def test_unstage_removes_files(self, storage, ladder):
+        ds = stage_dataset("job", ladder, storage)
+        ds.unstage()
+        assert ds.base_filename not in storage.fastest.filesystem
+        for m in range(1, ladder.num_buckets + 1):
+            tier = ds.tier_of_bucket(m)
+            assert ds.bucket_filename(m) not in tier.filesystem
+
+    def test_two_datasets_coexist(self, storage, ladder):
+        stage_dataset("job-a", ladder, storage)
+        stage_dataset("job-b", ladder, storage)
+        assert "job-a/base" in storage.fastest.filesystem
+        assert "job-b/base" in storage.fastest.filesystem

@@ -1,0 +1,142 @@
+"""Tests for repro.experiments.trace and repro.cli."""
+
+import csv
+import io
+import json
+
+import pytest
+
+from repro.cli import FIGURES, build_parser, main
+from repro.experiments.config import ScenarioConfig
+from repro.experiments.runner import run_scenario
+from repro.experiments.trace import (
+    records_to_rows,
+    scenario_summary,
+    to_csv_text,
+    to_json_text,
+    write_csv,
+)
+
+
+@pytest.fixture(scope="module")
+def result():
+    return run_scenario(ScenarioConfig(max_steps=5, seed=0))
+
+
+class TestTrace:
+    def test_rows_match_records(self, result):
+        rows = records_to_rows(result.records)
+        assert len(rows) == 5
+        assert rows[0]["step"] == 0
+        assert rows[0]["io_time"] == result.records[0].io_time
+
+    def test_csv_roundtrip(self, result):
+        text = to_csv_text(result.records)
+        parsed = list(csv.DictReader(io.StringIO(text)))
+        assert len(parsed) == 5
+        assert float(parsed[2]["io_time"]) == pytest.approx(result.records[2].io_time)
+
+    def test_write_csv(self, result, tmp_path):
+        path = tmp_path / "trace.csv"
+        write_csv(result.records, str(path))
+        assert path.exists()
+        assert len(path.read_text().splitlines()) == 6  # header + 5 rows
+
+    def test_json(self, result):
+        data = json.loads(to_json_text(result.records))
+        assert len(data) == 5
+        assert data[0]["target_rung"] == result.records[0].target_rung
+
+    def test_summary_keys(self, result):
+        s = scenario_summary(result)
+        assert s["steps"] == 5
+        assert s["policy"] == "cross-layer"
+        assert s["mean_io_time"] == pytest.approx(result.mean_io_time)
+        # Summary must be JSON-serialisable.
+        json.dumps(s)
+
+
+class TestCliParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_scenario_defaults(self):
+        args = build_parser().parse_args(["scenario"])
+        assert args.app == "xgc" and args.policy == "cross-layer"
+
+    def test_figure_name_validated(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["figure", "fig99"])
+
+    def test_registry_covers_all_eval_figures(self):
+        expected = {f"fig{n:02d}" for n in (1, 2, 5, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16)}
+        assert expected | {"headline", "threetier", "campaign"} == set(FIGURES)
+
+
+class TestCliCommands:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig08" in out and "headline" in out
+
+    def test_tables(self, capsys):
+        assert main(["tables"]) == 0
+        out = capsys.readouterr().out
+        assert "Lustre" in out and "Tango" in out and "768 MB" in out
+
+    def test_scenario_json(self, capsys):
+        assert main(["scenario", "--app", "cfd", "--steps", "4", "--json"]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["steps"] == 4 and data["app"] == "cfd"
+
+    def test_scenario_text_and_csv(self, capsys, tmp_path):
+        path = tmp_path / "t.csv"
+        code = main(["scenario", "--steps", "3", "--csv", str(path)])
+        assert code == 0
+        assert "mean I/O time" in capsys.readouterr().out
+        assert path.exists()
+
+    def test_scenario_estimator_flag(self, capsys):
+        assert main(["scenario", "--steps", "3", "--estimator", "mean", "--json"]) == 0
+        assert json.loads(capsys.readouterr().out)["steps"] == 3
+
+    def test_figure_fast(self, capsys):
+        assert main(["figure", "fig05", "--fast"]) == 0
+        assert "weight vs cardinality" in capsys.readouterr().out
+
+    def test_figure_out_file(self, capsys, tmp_path):
+        path = tmp_path / "fig05.txt"
+        assert main(["figure", "fig05", "--fast", "--out", str(path)]) == 0
+        assert "weight vs cardinality" in path.read_text()
+
+    def test_export_command(self, capsys, tmp_path):
+        import json
+
+        path = tmp_path / "fig05.json"
+        assert main(["export", "fig05", str(path), "--fast"]) == 0
+        data = json.loads(path.read_text())
+        assert "weight_vs_cardinality" in data
+
+    def test_iobench_mixed(self, capsys):
+        assert main(["iobench", "--readers", "1", "--writers", "1",
+                     "--size-mb", "100"]) == 0
+        out = capsys.readouterr().out
+        assert "read-0" in out and "write-1" in out and "aggregate" in out
+
+    def test_iobench_weights(self, capsys):
+        assert main([
+            "iobench", "--device", "intel-ssd-400", "--readers", "2",
+            "--size-mb", "500", "--weights", "200,100",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "weight= 200" in out
+
+    def test_iobench_bad_device(self, capsys):
+        assert main(["iobench", "--device", "quantum-drive"]) == 2
+
+    def test_iobench_weight_count_mismatch(self, capsys):
+        assert main(["iobench", "--readers", "2", "--weights", "100"]) == 2
+
+    def test_iobench_no_streams(self, capsys):
+        assert main(["iobench", "--readers", "0", "--writers", "0"]) == 2

@@ -1,0 +1,129 @@
+"""Tests for repro.core.transforms — pluggable restriction/prolongation."""
+
+import numpy as np
+import pytest
+
+from repro.core.error_control import ErrorMetric, build_ladder
+from repro.core.metrics import nrmse
+from repro.core.refactor import decompose, recompose_full, reconstruct_base_only
+from repro.core.transforms import (
+    TRANSFORMS,
+    AverageTransform,
+    LinearTransform,
+    get_transform,
+)
+
+
+class TestRegistry:
+    def test_both_registered(self):
+        assert set(TRANSFORMS) == {"linear", "average"}
+
+    def test_lookup(self):
+        assert isinstance(get_transform("linear"), LinearTransform)
+        assert isinstance(get_transform("average"), AverageTransform)
+
+    def test_unknown(self):
+        with pytest.raises(ValueError, match="unknown transform"):
+            get_transform("wavelet9/7")
+
+
+class TestAverageTransform:
+    @pytest.fixture
+    def tr(self):
+        return AverageTransform()
+
+    def test_restrict_is_block_mean(self, tr):
+        a = np.arange(8.0)
+        np.testing.assert_allclose(tr.restrict(a, 2), [0.5, 2.5, 4.5, 6.5])
+
+    def test_ragged_tail_averages_remainder(self, tr):
+        a = np.arange(5.0)  # blocks [0,1], [2,3], [4]
+        np.testing.assert_allclose(tr.restrict(a, 2), [0.5, 2.5, 4.0])
+
+    def test_prolongate_replicates(self, tr):
+        up = tr.prolongate(np.array([1.0, 3.0]), (4,), 2)
+        np.testing.assert_allclose(up, [1, 1, 3, 3])
+
+    def test_prolongate_trims_tail(self, tr):
+        up = tr.prolongate(np.array([1.0, 3.0, 5.0]), (5,), 2)
+        np.testing.assert_allclose(up, [1, 1, 3, 3, 5])
+
+    def test_restrict_prolongate_roundtrip(self, tr, smooth_field):
+        coarse = tr.restrict(smooth_field, 2)
+        up = tr.prolongate(coarse, smooth_field.shape, 2)
+        np.testing.assert_allclose(tr.restrict(up, 2), coarse, atol=1e-12)
+
+    def test_2d_block_mean(self, tr):
+        a = np.array([[0.0, 2.0], [4.0, 6.0]])
+        np.testing.assert_allclose(tr.restrict(a, 2), [[3.0]])
+
+    def test_3d(self, tr):
+        a = np.arange(2 * 2 * 2, dtype=float).reshape(2, 2, 2)
+        np.testing.assert_allclose(tr.restrict(a, 2), [[[3.5]]])
+
+    def test_bad_stride(self, tr):
+        with pytest.raises(ValueError):
+            tr.restrict(np.arange(4.0), 1)
+        with pytest.raises(ValueError):
+            tr.prolongate(np.arange(2.0), (4,), 1)
+
+    def test_coverage_error(self, tr):
+        with pytest.raises(ValueError, match="cover"):
+            tr.prolongate(np.arange(2.0), (100,), 2)
+
+    def test_anti_aliasing(self, tr, rng):
+        """Block averaging suppresses white noise by ~sqrt(block size);
+        subsampling keeps it at full variance — the transform's raison
+        d'être on noisy data."""
+        noise = rng.standard_normal((512,))
+        avg = tr.restrict(noise, 4)
+        sub = LinearTransform().restrict(noise, 4)
+        assert avg.std() < sub.std() * 0.75
+
+
+class TestTransformPipelines:
+    @pytest.mark.parametrize("tfm", ["linear", "average"])
+    def test_exact_recompose(self, tfm, smooth_field):
+        dec = decompose(smooth_field, 3, transform=tfm)
+        assert dec.transform == tfm
+        np.testing.assert_allclose(recompose_full(dec), smooth_field, atol=1e-10)
+
+    @pytest.mark.parametrize("tfm", ["linear", "average"])
+    def test_ladder_bounds_hold(self, tfm, smooth_field):
+        dec = decompose(smooth_field, 3, transform=tfm)
+        ladder = build_ladder(dec, [0.1, 0.01], ErrorMetric.NRMSE)
+        for b in ladder.buckets:
+            rec = ladder.reconstruct(b.index)
+            assert nrmse(smooth_field, rec) <= b.bound * (1 + 1e-9)
+
+    def test_average_has_no_shared_points(self, smooth_field):
+        dec = decompose(smooth_field, 2, transform="average")
+        # Every augmentation entry is explicitly stored.
+        assert dec.aug_nonzero_count(0) == smooth_field.size
+        ladder = build_ladder(dec, [0.1], ErrorMetric.NRMSE)
+        assert ladder.stream_length == smooth_field.size
+
+    def test_linear_stream_excludes_shared(self, smooth_field):
+        dec = decompose(smooth_field, 2, transform="linear")
+        ladder = build_ladder(dec, [0.1], ErrorMetric.NRMSE)
+        assert ladder.stream_length < smooth_field.size
+
+    def test_base_only_differs_between_transforms(self, smooth_field):
+        lin = reconstruct_base_only(decompose(smooth_field, 3, transform="linear"))
+        avg = reconstruct_base_only(decompose(smooth_field, 3, transform="average"))
+        assert not np.allclose(lin, avg)
+
+    def test_serialization_preserves_transform(self, smooth_field):
+        from repro.core.serialize import pack_ladder, unpack_ladder
+
+        dec = decompose(smooth_field, 3, transform="average")
+        ladder = build_ladder(dec, [0.1, 0.01], ErrorMetric.NRMSE)
+        restored = unpack_ladder(pack_ladder(ladder))
+        assert restored.decomposition.transform == "average"
+        np.testing.assert_allclose(
+            restored.reconstruct(2), ladder.reconstruct(2)
+        )
+
+    def test_unknown_transform_rejected(self, smooth_field):
+        with pytest.raises(ValueError, match="unknown transform"):
+            decompose(smooth_field, 2, transform="dct")

@@ -1,0 +1,53 @@
+"""Tests for repro.util.rng."""
+
+import numpy as np
+import pytest
+
+from repro.util.rng import make_rng, spawn_rngs
+
+
+class TestMakeRng:
+    def test_same_seed_same_stream(self):
+        assert make_rng(7).integers(0, 1000) == make_rng(7).integers(0, 1000)
+
+    def test_different_seeds_differ(self):
+        a = make_rng(1).integers(0, 2**62)
+        b = make_rng(2).integers(0, 2**62)
+        assert a != b
+
+    def test_passthrough_generator(self):
+        g = np.random.default_rng(0)
+        assert make_rng(g) is g
+
+    def test_none_gives_generator(self):
+        assert isinstance(make_rng(None), np.random.Generator)
+
+
+class TestSpawnRngs:
+    def test_count(self):
+        assert len(spawn_rngs(0, 5)) == 5
+
+    def test_zero_count(self):
+        assert spawn_rngs(0, 0) == []
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            spawn_rngs(0, -1)
+
+    def test_children_independent(self):
+        a, b = spawn_rngs(0, 2)
+        xs = a.random(100)
+        ys = b.random(100)
+        assert not np.allclose(xs, ys)
+
+    def test_deterministic_across_calls(self):
+        a1, b1 = spawn_rngs(3, 2)
+        a2, b2 = spawn_rngs(3, 2)
+        assert np.allclose(a1.random(10), a2.random(10))
+        assert np.allclose(b1.random(10), b2.random(10))
+
+    def test_spawn_from_generator(self):
+        children = spawn_rngs(np.random.default_rng(5), 3)
+        assert len(children) == 3
+        vals = [c.random() for c in children]
+        assert len(set(vals)) == 3

@@ -1,0 +1,59 @@
+"""Tests for repro.util.units."""
+
+from hypothesis import given, strategies as st
+
+from repro.util.units import (
+    GiB,
+    KiB,
+    MB,
+    MiB,
+    TiB,
+    bytes_to_mb,
+    format_bytes,
+    format_rate,
+    mb_per_s,
+    mb_to_bytes,
+)
+
+
+class TestConstants:
+    def test_binary_prefixes(self):
+        assert KiB == 1024
+        assert MiB == 1024**2
+        assert GiB == 1024**3
+        assert TiB == 1024**4
+
+    def test_decimal_mb(self):
+        assert MB == 10**6
+
+
+class TestConversions:
+    def test_mb_per_s(self):
+        assert mb_per_s(30) == 30_000_000.0
+
+    def test_bytes_to_mb(self):
+        assert bytes_to_mb(1_500_000) == 1.5
+
+    def test_mb_to_bytes(self):
+        assert mb_to_bytes(2.5) == 2_500_000.0
+
+    @given(st.floats(min_value=0, max_value=1e9, allow_nan=False))
+    def test_roundtrip(self, x):
+        assert abs(bytes_to_mb(mb_to_bytes(x)) - x) < 1e-6 * max(x, 1)
+
+
+class TestFormatting:
+    def test_format_bytes_small(self):
+        assert format_bytes(512) == "512 B"
+
+    def test_format_bytes_kib(self):
+        assert format_bytes(2048) == "2.00 KiB"
+
+    def test_format_bytes_gib(self):
+        assert format_bytes(3 * GiB) == "3.00 GiB"
+
+    def test_format_bytes_tib(self):
+        assert format_bytes(2 * TiB) == "2.00 TiB"
+
+    def test_format_rate(self):
+        assert format_rate(mb_per_s(120)) == "120.0 MB/s"

@@ -1,0 +1,153 @@
+"""Tests for repro.core.weights — the blkio weight function."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.error_control import ErrorMetric
+from repro.core.weights import BLKIO_WEIGHT_MAX, BLKIO_WEIGHT_MIN, WeightFunction
+
+CARD_RANGE = (1_000.0, 100_000.0)
+NRMSE_RANGE = (0.1, 0.0001)  # loosest, tightest
+PSNR_RANGE = (30.0, 80.0)
+P_RANGE = (1.0, 10.0)
+
+
+@pytest.fixture
+def wf_nrmse():
+    return WeightFunction.calibrated(
+        ErrorMetric.NRMSE,
+        cardinality_range=CARD_RANGE,
+        accuracy_range=NRMSE_RANGE,
+        priority_range=P_RANGE,
+    )
+
+
+@pytest.fixture
+def wf_psnr():
+    return WeightFunction.calibrated(
+        ErrorMetric.PSNR,
+        cardinality_range=CARD_RANGE,
+        accuracy_range=PSNR_RANGE,
+        priority_range=P_RANGE,
+    )
+
+
+class TestCalibration:
+    def test_max_scenario_maps_to_1000(self, wf_nrmse):
+        """Largest cardinality + loosest accuracy + highest priority = 1000."""
+        assert wf_nrmse(CARD_RANGE[1], NRMSE_RANGE[0], P_RANGE[1]) == BLKIO_WEIGHT_MAX
+
+    def test_min_scenario_maps_to_100(self, wf_nrmse):
+        assert wf_nrmse(CARD_RANGE[0], NRMSE_RANGE[1], P_RANGE[0]) == BLKIO_WEIGHT_MIN
+
+    def test_psnr_calibration_extremes(self, wf_psnr):
+        assert wf_psnr(CARD_RANGE[1], PSNR_RANGE[0], P_RANGE[1]) == BLKIO_WEIGHT_MAX
+        assert wf_psnr(CARD_RANGE[0], PSNR_RANGE[1], P_RANGE[0]) == BLKIO_WEIGHT_MIN
+
+    def test_swapped_accuracy_range_normalised(self):
+        """(tightest, loosest) order is accepted and normalised."""
+        wf = WeightFunction.calibrated(
+            ErrorMetric.NRMSE,
+            cardinality_range=CARD_RANGE,
+            accuracy_range=(0.0001, 0.1),
+        )
+        assert wf(CARD_RANGE[1], 0.1, 10.0) == BLKIO_WEIGHT_MAX
+
+    def test_degenerate_ranges_constant(self):
+        wf = WeightFunction.calibrated(
+            ErrorMetric.NRMSE,
+            cardinality_range=(100, 100),
+            accuracy_range=(0.01, 0.01),
+            priority_range=(5, 5),
+        )
+        w = wf(100, 0.01, 5)
+        assert BLKIO_WEIGHT_MIN <= w <= BLKIO_WEIGHT_MAX
+
+
+class TestMonotonicity:
+    def test_weight_grows_with_cardinality(self, wf_nrmse):
+        ws = [wf_nrmse(c, 0.01, 5.0) for c in (2_000, 20_000, 80_000)]
+        assert ws == sorted(ws) and ws[0] < ws[-1]
+
+    def test_weight_grows_with_priority(self, wf_nrmse):
+        ws = [wf_nrmse(50_000, 0.01, p) for p in (1, 5, 10)]
+        assert ws == sorted(ws) and ws[0] < ws[-1]
+
+    def test_weight_shrinks_with_tighter_nrmse(self, wf_nrmse):
+        """Favour low accuracy: looser bound -> larger weight."""
+        ws = [wf_nrmse(50_000, eps, 10.0) for eps in (0.1, 0.01, 0.001, 0.0001)]
+        assert ws == sorted(ws, reverse=True) and ws[0] > ws[-1]
+
+    def test_weight_shrinks_with_tighter_psnr(self, wf_psnr):
+        ws = [wf_psnr(50_000, db, 10.0) for db in (30, 50, 80)]
+        assert ws == sorted(ws, reverse=True) and ws[0] > ws[-1]
+
+
+class TestClipping:
+    def test_never_below_min(self, wf_nrmse):
+        assert wf_nrmse(1, 1e-8, 0.5) >= BLKIO_WEIGHT_MIN
+
+    def test_never_above_max(self, wf_nrmse):
+        assert wf_nrmse(1e9, 0.5, 100.0) <= BLKIO_WEIGHT_MAX
+
+    @given(
+        card=st.floats(1, 1e7),
+        eps=st.floats(1e-8, 0.5),
+        p=st.floats(0.1, 100),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_property_always_valid_weight(self, card, eps, p):
+        wf = WeightFunction.calibrated(
+            ErrorMetric.NRMSE,
+            cardinality_range=CARD_RANGE,
+            accuracy_range=NRMSE_RANGE,
+        )
+        w = wf(card, eps, p)
+        assert isinstance(w, int)
+        assert BLKIO_WEIGHT_MIN <= w <= BLKIO_WEIGHT_MAX
+
+
+class TestAblationFlags:
+    def test_priority_disabled(self):
+        wf = WeightFunction.calibrated(
+            ErrorMetric.NRMSE,
+            cardinality_range=CARD_RANGE,
+            accuracy_range=NRMSE_RANGE,
+            use_priority=False,
+        )
+        assert wf(50_000, 0.01, 1.0) == wf(50_000, 0.01, 10.0)
+
+    def test_accuracy_disabled(self):
+        wf = WeightFunction.calibrated(
+            ErrorMetric.NRMSE,
+            cardinality_range=CARD_RANGE,
+            accuracy_range=NRMSE_RANGE,
+            use_accuracy=False,
+        )
+        assert wf(50_000, 0.1, 5.0) == wf(50_000, 0.0001, 5.0)
+
+    def test_cardinality_only_still_spans_range(self):
+        wf = WeightFunction.calibrated(
+            ErrorMetric.NRMSE,
+            cardinality_range=CARD_RANGE,
+            accuracy_range=NRMSE_RANGE,
+            use_priority=False,
+            use_accuracy=False,
+        )
+        assert wf(CARD_RANGE[1], 0.1, 1.0) == BLKIO_WEIGHT_MAX
+        assert wf(CARD_RANGE[0], 0.1, 1.0) == BLKIO_WEIGHT_MIN
+
+
+class TestValidation:
+    def test_nonpositive_eps_rejected(self, wf_nrmse):
+        with pytest.raises(ValueError):
+            wf_nrmse(100, 0.0, 5.0)
+        with pytest.raises(ValueError):
+            wf_nrmse(100, -0.1, 5.0)
+
+    def test_raw_unclipped(self, wf_nrmse):
+        """raw() can exceed the clip range; __call__ cannot."""
+        raw = wf_nrmse.raw(1e9, 0.5, 100.0)
+        assert raw > BLKIO_WEIGHT_MAX
+        assert wf_nrmse(1e9, 0.5, 100.0) == BLKIO_WEIGHT_MAX
