@@ -150,6 +150,53 @@ FIGURES: dict[str, Callable[[bool], object]] = {
 }
 
 
+def _add_obs_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--trace-out",
+        metavar="PATH",
+        help="enable observability and write the sim-time event stream as JSONL",
+    )
+    parser.add_argument(
+        "--metrics-out",
+        metavar="PATH",
+        help="enable observability and write a metrics snapshot (JSON, or CSV for *.csv)",
+    )
+
+
+def _obs_requested(args: argparse.Namespace) -> bool:
+    return bool(getattr(args, "trace_out", None) or getattr(args, "metrics_out", None))
+
+
+def _obs_begin(args: argparse.Namespace) -> bool:
+    """Enable collection for this command if any obs output was requested."""
+    if not _obs_requested(args):
+        return False
+    from repro.obs import OBS
+
+    OBS.reset()
+    OBS.enable()
+    return True
+
+
+def _obs_finish(args: argparse.Namespace) -> None:
+    """Write the requested outputs and return to the disabled default."""
+    from repro.obs import OBS
+    from repro.obs.export import write_events_jsonl, write_metrics_snapshot
+
+    try:
+        if args.trace_out:
+            n = write_events_jsonl(OBS.tracer, args.trace_out)
+            dropped = OBS.tracer.dropped
+            suffix = f" ({dropped} dropped by the ring buffer)" if dropped else ""
+            print(f"{n} trace events written to {args.trace_out}{suffix}", file=sys.stderr)
+        if args.metrics_out:
+            fmt = write_metrics_snapshot(OBS.registry, args.metrics_out)
+            print(f"metrics snapshot ({fmt}) written to {args.metrics_out}", file=sys.stderr)
+    finally:
+        OBS.disable()
+        OBS.reset()
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -177,11 +224,13 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="print I/O-time and bandwidth sparklines for the run",
     )
+    _add_obs_args(sc)
 
     fig = sub.add_parser("figure", help="regenerate one paper figure/table")
     fig.add_argument("name", choices=sorted(FIGURES))
     fig.add_argument("--fast", action="store_true", help="reduced-scale run")
     fig.add_argument("--out", metavar="PATH", help="also write the rows to a file")
+    _add_obs_args(fig)
 
     io = sub.add_parser(
         "iobench", help="fio-style sanity check of the simulated device model"
@@ -226,7 +275,12 @@ def _cmd_scenario(args: argparse.Namespace) -> int:
         noise=TABLE_IV_NOISE[: args.noises],
         estimator=args.estimator,
     )
-    result = run_scenario(cfg)
+    obs_on = _obs_begin(args)
+    try:
+        result = run_scenario(cfg)
+    finally:
+        if obs_on:
+            _obs_finish(args)
     summary = scenario_summary(result)
     if args.json:
         print(json.dumps(summary, indent=2))
@@ -249,7 +303,12 @@ def _cmd_scenario(args: argparse.Namespace) -> int:
 
 
 def _cmd_figure(args: argparse.Namespace) -> int:
-    result = FIGURES[args.name](args.fast)
+    obs_on = _obs_begin(args)
+    try:
+        result = FIGURES[args.name](args.fast)
+    finally:
+        if obs_on:
+            _obs_finish(args)
     text = result.format_rows()
     print(text)
     if args.out:

@@ -5,6 +5,7 @@ from __future__ import annotations
 from typing import Callable, Generator
 
 from repro.containers.container import Container
+from repro.obs import OBS
 from repro.simkernel import Simulation
 from repro.storage.cgroup import CgroupController, DEFAULT_BLKIO_WEIGHT
 
@@ -26,6 +27,14 @@ class ContainerRuntime:
         cgroup = self.cgroups.create(name, blkio_weight)
         container = Container(self.sim, name, cgroup)
         self._containers[name] = container
+        if OBS.enabled:
+            OBS.tracer.event(
+                "container.create",
+                sim_time=self.sim.now,
+                container=name,
+                blkio_weight=blkio_weight,
+            )
+            OBS.registry.counter("runtime.containers_created").inc()
         return container
 
     def run(
@@ -47,11 +56,18 @@ class ContainerRuntime:
             raise KeyError(f"no container named {name!r}") from None
 
     def stop(self, name: str) -> None:
-        self.get(name).stop()
+        container = self.get(name)
+        was_running = container.is_running
+        container.stop()
+        if OBS.enabled and was_running:
+            OBS.tracer.event("container.stop", sim_time=self.sim.now, container=name)
+            OBS.registry.counter("runtime.containers_stopped").inc()
 
     def stop_all(self) -> None:
-        for container in self._containers.values():
-            container.stop()
+        # Insertion order, matching historic behaviour (teardown order is
+        # observable through process interrupts).
+        for name in list(self._containers):
+            self.stop(name)
 
     def __len__(self) -> int:
         return len(self._containers)

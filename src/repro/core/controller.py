@@ -30,6 +30,7 @@ from repro.core.error_control import AccuracyLadder
 from repro.core.estimator import BandwidthEstimator, DFTEstimator
 from repro.core.recompose import RecompositionPlan, plan_recomposition
 from repro.core.weights import WeightFunction
+from repro.obs import OBS
 
 __all__ = [
     "AdaptationDecision",
@@ -310,4 +311,22 @@ class TangoController:
             step=step, plan=plan, predicted_bw=predicted, estimator_fitted=fitted
         )
         self.decisions.append(decision)
+        if OBS.enabled:
+            # The full decision chain: predicted bw → degree → rung k → weights.
+            OBS.tracer.event(
+                "controller.decision",
+                step=step,
+                policy=self.policy.name,
+                predicted_bw=predicted,
+                estimator_fitted=fitted,
+                augmentation_degree=plan.augmentation_degree,
+                prescribed_rung=plan.prescribed_rung,
+                estimated_rung=plan.estimated_rung,
+                target_rung=plan.target_rung,
+                weights=[s.weight for s in plan.steps if s.weight is not None],
+            )
+            reg = OBS.registry
+            reg.counter("controller.decisions").inc(policy=self.policy.name)
+            reg.gauge("controller.predicted_bw").set(predicted)
+            reg.gauge("controller.target_rung").set(plan.target_rung)
         return decision

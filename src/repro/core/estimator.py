@@ -20,6 +20,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.obs import OBS
 from repro.util.validation import check_probability
 
 __all__ = ["DFTEstimator", "MeanEstimator", "LastValueEstimator", "BandwidthEstimator"]
@@ -83,6 +84,7 @@ class DFTEstimator(BandwidthEstimator):
             )
         if not np.all(np.isfinite(history)):
             raise ValueError("history contains non-finite samples")
+        span = OBS.tracer.start_span("estimator.refit", n=history.size) if OBS.enabled else None
         n = history.size
         fc = np.fft.fft(history)
         amp = np.abs(fc)
@@ -90,13 +92,28 @@ class DFTEstimator(BandwidthEstimator):
         non_dc[0] = 0.0
         peak = non_dc.max()
         cutoff = self.thresh * peak
-        keep = amp >= cutoff if peak > 0 else np.zeros(n, dtype=bool)
+        if peak > 0:
+            # With cutoff == 0 (thresh=0), ``amp >= cutoff`` would keep every
+            # component including (numerically) zero-amplitude ones,
+            # densifying predict() to O(n·s) for a clean periodic signal.
+            # The noise floor is the FFT's own rounding scale, so only
+            # genuinely present components survive.
+            noise_floor = n * np.finfo(np.float64).eps * peak
+            keep = amp >= max(cutoff, noise_floor)
+        else:
+            keep = np.zeros(n, dtype=bool)
         if self.keep_dc:
             keep[0] = True
         filtered = np.where(keep, fc, 0.0)
         self._coeffs = filtered
         self._n = n
         self._kept_components = int(keep.sum())
+        if span is not None:
+            span.set(kept=self._kept_components, thresh=self.thresh).end()
+            reg = OBS.registry
+            reg.counter("estimator.refits").inc()
+            reg.gauge("estimator.kept_components").set(self._kept_components)
+            reg.gauge("estimator.window_length").set(n)
         return self
 
     def predict(self, steps: np.ndarray | int) -> np.ndarray | float:

@@ -127,6 +127,11 @@ class WeightFunction:
         return self.k2 * u + self.b2
 
     def __call__(self, cardinality: float, eps: float, priority: float) -> int:
-        """Blkio weight for retrieving ``Aug_{ε_m}``, clipped to [100, 1000]."""
+        """Blkio weight for retrieving ``Aug_{ε_m}``, clipped to [100, 1000].
+
+        Half-way values round *up* (``math.floor(w + 0.5)``) — built-in
+        ``round`` uses banker's rounding, which maps e.g. 150.5 to the
+        nearest even integer 150, a surprise for a calibrated map.
+        """
         w = self.raw(cardinality, eps, priority)
-        return int(round(min(max(w, BLKIO_WEIGHT_MIN), BLKIO_WEIGHT_MAX)))
+        return math.floor(min(max(w, BLKIO_WEIGHT_MIN), BLKIO_WEIGHT_MAX) + 0.5)

@@ -28,8 +28,10 @@ from repro.core.estimator import (
 from repro.core.refactor import decompose, levels_for_decimation
 from repro.core.weights import WeightFunction
 from repro.experiments.config import ScenarioConfig
+from repro.obs import OBS
 from repro.simkernel import Simulation
 from repro.storage.staging import StagedDataset, stage_dataset
+from repro.storage.stats import DeviceSample, DeviceSampler
 from repro.storage.tier import TieredStorage
 from repro.workloads.analytics import AnalyticsDriver, StepRecord
 from repro.workloads.noise import launch_noise
@@ -89,6 +91,9 @@ class ScenarioResult:
     weight_history: list[tuple[float, int]]
     final_time: float
     _outcome_cache: dict[int, float] = field(default_factory=dict)
+    #: Capacity-tier device samples, recorded only when observability is
+    #: enabled (``None`` otherwise — the disabled path schedules nothing).
+    device_samples: list[DeviceSample] | None = None
 
     # -- I/O performance (Figs 8, 9, 12, 13, 14, 16) -----------------------
 
@@ -182,6 +187,8 @@ def run_scenario(
     )
 
     sim = Simulation()
+    if OBS.enabled:
+        OBS.tracer.bind_clock(sim)
     if storage_factory is not None:
         storage = storage_factory(sim)
     elif config.tiers == "three-tier":
@@ -237,6 +244,41 @@ def run_scenario(
         estimation_interval=config.estimation_interval,
     )
 
+    # Scenario-level telemetry: a span around the whole run, a sampler on
+    # the contended capacity tier, and one event per completed step.  All
+    # of it only exists when observability is enabled, so the default path
+    # schedules nothing extra and stays bit-identical.
+    sampler: DeviceSampler | None = None
+    scenario_span = None
+    on_step = None
+    if OBS.enabled:
+        scenario_span = OBS.tracer.start_span(
+            "scenario",
+            app=config.app,
+            policy=config.policy,
+            seed=config.seed,
+            max_steps=config.max_steps,
+        )
+        sampler = DeviceSampler(
+            sim, storage.slowest.device, interval=config.period / 4.0
+        ).start()
+
+        def on_step(record):
+            OBS.tracer.event(
+                "step.complete",
+                step=record.step,
+                io_time=record.io_time,
+                io_bytes=record.io_bytes,
+                measured_bw=record.measured_bw,
+                predicted_bw=record.predicted_bw,
+                target_rung=record.target_rung,
+                probe_used=record.probe_used,
+            )
+            reg = OBS.registry
+            reg.counter("scenario.steps").inc()
+            reg.histogram("scenario.io_time").observe(record.io_time)
+            reg.gauge("scenario.measured_bw").set(record.measured_bw)
+
     analytics = runtime.create("analytics")
     driver = AnalyticsDriver(
         analytics,
@@ -244,6 +286,7 @@ def run_scenario(
         controller,
         period=config.period,
         max_steps=config.max_steps,
+        on_step=on_step,
     )
     proc = sim.process(driver.workload())
     analytics.attach(proc)
@@ -251,9 +294,13 @@ def run_scenario(
     horizon = config.max_steps * config.period + 600.0
     while proc.is_alive and sim.now < horizon:
         sim.run(until=min(sim.now + config.period, horizon))
+    # Teardown: cancel the sampler's pending tick *before* stopping the
+    # containers so idle rows never pad its series.
+    if sampler is not None:
+        sampler.stop()
     runtime.stop_all()
 
-    return ScenarioResult(
+    result = ScenarioResult(
         config=config,
         records=list(driver.records),
         ladder=ladder,
@@ -262,4 +309,13 @@ def run_scenario(
         original=original,
         weight_history=list(analytics.cgroup.weight_history),
         final_time=sim.now,
+        device_samples=list(sampler.samples) if sampler is not None else None,
     )
+    if scenario_span is not None:
+        scenario_span.set(
+            steps=len(result.records),
+            final_time=sim.now,
+            mean_io_time=result.mean_io_time if result.records else None,
+            weight_adjustments=len(result.weight_history),
+        ).end()
+    return result

@@ -35,7 +35,12 @@ FIELDS = (
 
 
 def records_to_rows(records: Iterable[StepRecord]) -> list[dict]:
-    """Flatten step records into JSON/CSV-friendly dictionaries."""
+    """Step records as dictionaries with native types.
+
+    ``weights`` and ``bucket_times`` stay real lists here (and therefore
+    in the JSON output); only the CSV writer flattens them to
+    ``";"``-joined cells.
+    """
     rows = []
     for r in records:
         rows.append(
@@ -48,14 +53,22 @@ def records_to_rows(records: Iterable[StepRecord]) -> list[dict]:
                 "prescribed_rung": r.prescribed_rung,
                 "predicted_bw": r.predicted_bw,
                 "measured_bw": r.measured_bw,
-                "weights": ";".join(str(w) for w in r.weights),
+                "weights": list(r.weights),
                 "probe_used": r.probe_used,
                 "read_errors": r.read_errors,
                 "base_time": r.base_time,
-                "bucket_times": ";".join(f"{t:.6f}" for t in r.bucket_times),
+                "bucket_times": list(r.bucket_times),
             }
         )
     return rows
+
+
+def _flatten_row(row: dict) -> dict:
+    """CSV cells cannot hold lists: join the sequence fields."""
+    flat = dict(row)
+    flat["weights"] = ";".join(str(w) for w in row["weights"])
+    flat["bucket_times"] = ";".join(f"{t:.6f}" for t in row["bucket_times"])
+    return flat
 
 
 def to_csv_text(records: Iterable[StepRecord]) -> str:
@@ -63,7 +76,7 @@ def to_csv_text(records: Iterable[StepRecord]) -> str:
     buf = io.StringIO()
     writer = csv.DictWriter(buf, fieldnames=FIELDS)
     writer.writeheader()
-    writer.writerows(records_to_rows(records))
+    writer.writerows(_flatten_row(row) for row in records_to_rows(records))
     return buf.getvalue()
 
 

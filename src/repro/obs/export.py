@@ -1,0 +1,94 @@
+"""Export: JSONL event streams and JSON/CSV metrics snapshots.
+
+The trace format is one JSON object per line (JSONL) so consumers can
+stream arbitrarily long runs; the metrics snapshot is a single JSON
+document, with a flat CSV rendering for spreadsheet-style analysis.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+from typing import Iterable
+
+from repro.obs.metrics import Registry
+from repro.obs.tracing import TraceEvent, Tracer
+
+__all__ = [
+    "events_to_jsonl",
+    "write_events_jsonl",
+    "read_events_jsonl",
+    "metrics_to_json_text",
+    "metrics_to_csv_text",
+    "write_metrics_snapshot",
+]
+
+
+def events_to_jsonl(events: Iterable[TraceEvent]) -> str:
+    """Render events as one compact JSON object per line."""
+    return "".join(json.dumps(e.to_dict(), sort_keys=True) + "\n" for e in events)
+
+
+def write_events_jsonl(source: Tracer | Iterable[TraceEvent], path: str) -> int:
+    """Write a tracer's buffered events (or any event iterable) to ``path``.
+
+    Returns the number of events written.
+    """
+    events = source.events() if isinstance(source, Tracer) else list(source)
+    with open(path, "w") as f:
+        f.write(events_to_jsonl(events))
+    return len(events)
+
+
+def read_events_jsonl(path: str) -> list[dict]:
+    """Parse a JSONL trace file back into plain dictionaries."""
+    out = []
+    with open(path) as f:
+        for line in f:
+            line = line.strip()
+            if line:
+                out.append(json.loads(line))
+    return out
+
+
+def metrics_to_json_text(registry: Registry, *, indent: int | None = 2) -> str:
+    """The registry snapshot as a JSON document."""
+    return json.dumps(registry.snapshot(), indent=indent, sort_keys=True)
+
+
+def metrics_to_csv_text(registry: Registry) -> str:
+    """Flat CSV: one row per (metric, label set).
+
+    Histograms flatten to their ``sum`` and ``count`` (bucket detail
+    stays in the JSON snapshot).
+    """
+    buf = io.StringIO()
+    writer = csv.writer(buf)
+    writer.writerow(["metric", "kind", "labels", "value", "sum", "count"])
+    snap = registry.snapshot()
+    for name in sorted(snap):
+        entry = snap[name]
+        for row in entry["series"]:
+            labels = ";".join(f"{k}={v}" for k, v in sorted(row["labels"].items()))
+            value = row["value"]
+            if entry["kind"] == "histogram":
+                writer.writerow([name, entry["kind"], labels, "", value["sum"], value["count"]])
+            else:
+                writer.writerow([name, entry["kind"], labels, value, "", ""])
+    return buf.getvalue()
+
+
+def write_metrics_snapshot(registry: Registry, path: str) -> str:
+    """Write the snapshot to ``path``.
+
+    ``*.csv`` paths get the flat CSV form; anything else gets JSON.
+    Returns the format written (``"csv"`` or ``"json"``).
+    """
+    if path.endswith(".csv"):
+        text, fmt = metrics_to_csv_text(registry), "csv"
+    else:
+        text, fmt = metrics_to_json_text(registry) + "\n", "json"
+    with open(path, "w") as f:
+        f.write(text)
+    return fmt

@@ -1,0 +1,240 @@
+"""Metric primitives: Counter, Gauge, Histogram, and their Registry.
+
+A deliberately small, dependency-free metrics model in the Prometheus
+style: named instruments with optional labels, aggregated in-process and
+snapshotted on demand.  Instruments are cheap enough to update from the
+simulator's hot paths (a dict lookup and a float add), and the process
+registry can be snapshotted as plain data for JSON/CSV export (see
+:mod:`repro.obs.export`).
+
+Label values are keyed by a sorted ``(key, value)`` tuple so that
+``inc(device="hdd")`` and the same call with keyword order permuted hit
+the same series.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Iterable
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "Registry",
+    "DEFAULT_BUCKETS",
+    "MetricError",
+]
+
+#: Default histogram bucket upper bounds (seconds-ish scale; +inf implicit).
+DEFAULT_BUCKETS = (
+    0.001,
+    0.005,
+    0.01,
+    0.05,
+    0.1,
+    0.5,
+    1.0,
+    5.0,
+    10.0,
+    50.0,
+    100.0,
+    500.0,
+)
+
+LabelKey = tuple[tuple[str, str], ...]
+
+
+class MetricError(RuntimeError):
+    """Raised on metric misuse (type clash, bad bucket spec, ...)."""
+
+
+def _label_key(labels: dict[str, object]) -> LabelKey:
+    return tuple(sorted((k, str(v)) for k, v in labels.items()))
+
+
+class _Metric:
+    """Common shell: a name, a help string, and per-label-set series."""
+
+    kind = "abstract"
+
+    def __init__(self, name: str, help: str = "") -> None:
+        if not name:
+            raise MetricError("metric name must be non-empty")
+        self.name = name
+        self.help = help
+
+    def series(self) -> dict[LabelKey, object]:
+        raise NotImplementedError
+
+    def snapshot(self) -> list[dict]:
+        """Plain-data rows, one per label set."""
+        rows = []
+        for key, value in sorted(self.series().items()):
+            rows.append({"labels": dict(key), "value": value})
+        return rows
+
+
+class Counter(_Metric):
+    """A monotonically increasing sum per label set."""
+
+    kind = "counter"
+
+    def __init__(self, name: str, help: str = "") -> None:
+        super().__init__(name, help)
+        self._values: dict[LabelKey, float] = {}
+
+    def inc(self, amount: float = 1.0, **labels: object) -> None:
+        if amount < 0:
+            raise MetricError(f"counter {self.name!r} cannot decrease (inc {amount})")
+        key = _label_key(labels)
+        self._values[key] = self._values.get(key, 0.0) + amount
+
+    def value(self, **labels: object) -> float:
+        return self._values.get(_label_key(labels), 0.0)
+
+    def series(self) -> dict[LabelKey, float]:
+        return dict(self._values)
+
+
+class Gauge(_Metric):
+    """A settable last-observed value per label set."""
+
+    kind = "gauge"
+
+    def __init__(self, name: str, help: str = "") -> None:
+        super().__init__(name, help)
+        self._values: dict[LabelKey, float] = {}
+
+    def set(self, value: float, **labels: object) -> None:
+        self._values[_label_key(labels)] = float(value)
+
+    def inc(self, amount: float = 1.0, **labels: object) -> None:
+        key = _label_key(labels)
+        self._values[key] = self._values.get(key, 0.0) + amount
+
+    def dec(self, amount: float = 1.0, **labels: object) -> None:
+        self.inc(-amount, **labels)
+
+    def value(self, **labels: object) -> float:
+        return self._values.get(_label_key(labels), 0.0)
+
+    def series(self) -> dict[LabelKey, float]:
+        return dict(self._values)
+
+
+class Histogram(_Metric):
+    """Cumulative bucket counts plus sum/count per label set."""
+
+    kind = "histogram"
+
+    def __init__(
+        self,
+        name: str,
+        help: str = "",
+        buckets: Iterable[float] = DEFAULT_BUCKETS,
+    ) -> None:
+        super().__init__(name, help)
+        bounds = tuple(sorted(float(b) for b in buckets))
+        if not bounds:
+            raise MetricError(f"histogram {self.name!r} needs at least one bucket")
+        if len(set(bounds)) != len(bounds):
+            raise MetricError(f"histogram {self.name!r} has duplicate bucket bounds")
+        self.bounds = bounds
+        # per label set: [counts per bound + overflow], sum, count
+        self._series: dict[LabelKey, tuple[list[int], list[float]]] = {}
+
+    def observe(self, value: float, **labels: object) -> None:
+        key = _label_key(labels)
+        entry = self._series.get(key)
+        if entry is None:
+            entry = ([0] * (len(self.bounds) + 1), [0.0, 0.0])
+            self._series[key] = entry
+        counts, agg = entry
+        counts[bisect.bisect_left(self.bounds, value)] += 1
+        agg[0] += value
+        agg[1] += 1.0
+
+    def count(self, **labels: object) -> int:
+        entry = self._series.get(_label_key(labels))
+        return int(entry[1][1]) if entry else 0
+
+    def sum(self, **labels: object) -> float:
+        entry = self._series.get(_label_key(labels))
+        return entry[1][0] if entry else 0.0
+
+    def series(self) -> dict[LabelKey, dict]:
+        out: dict[LabelKey, dict] = {}
+        for key, (counts, agg) in self._series.items():
+            cumulative: dict[str, int] = {}
+            running = 0
+            for bound, c in zip(self.bounds, counts):
+                running += c
+                cumulative[repr(bound)] = running
+            cumulative["+Inf"] = running + counts[-1]
+            out[key] = {"buckets": cumulative, "sum": agg[0], "count": int(agg[1])}
+        return out
+
+
+class Registry:
+    """A process-wide registry: get-or-create instruments by name.
+
+    Re-requesting a name returns the existing instrument; requesting it
+    as a different kind is an error (silently returning the wrong type
+    is how telemetry bugs hide).
+    """
+
+    def __init__(self) -> None:
+        self._metrics: dict[str, _Metric] = {}
+
+    def _get_or_create(self, cls: type[_Metric], name: str, help: str, **kwargs) -> _Metric:
+        metric = self._metrics.get(name)
+        if metric is None:
+            metric = cls(name, help, **kwargs)
+            self._metrics[name] = metric
+        elif not isinstance(metric, cls):
+            raise MetricError(
+                f"metric {name!r} already registered as {metric.kind}, "
+                f"requested as {cls.kind}"
+            )
+        return metric
+
+    def counter(self, name: str, help: str = "") -> Counter:
+        return self._get_or_create(Counter, name, help)  # type: ignore[return-value]
+
+    def gauge(self, name: str, help: str = "") -> Gauge:
+        return self._get_or_create(Gauge, name, help)  # type: ignore[return-value]
+
+    def histogram(
+        self, name: str, help: str = "", buckets: Iterable[float] = DEFAULT_BUCKETS
+    ) -> Histogram:
+        return self._get_or_create(Histogram, name, help, buckets=buckets)  # type: ignore[return-value]
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._metrics
+
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+    def names(self) -> list[str]:
+        return sorted(self._metrics)
+
+    def get(self, name: str) -> _Metric:
+        try:
+            return self._metrics[name]
+        except KeyError:
+            raise KeyError(f"no metric named {name!r}") from None
+
+    def clear(self) -> None:
+        self._metrics.clear()
+
+    def snapshot(self) -> dict:
+        """All instruments as plain data (JSON-serialisable)."""
+        return {
+            name: {
+                "kind": metric.kind,
+                "help": metric.help,
+                "series": metric.snapshot(),
+            }
+            for name, metric in sorted(self._metrics.items())
+        }

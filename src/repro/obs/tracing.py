@@ -1,0 +1,236 @@
+"""Simulation-time tracing: structured events and nestable spans.
+
+The tracer stamps every event with *simulated* time — the clock the
+figures are plotted against — while separately accounting the *wall
+clock* cost of both the traced work (span ``wall_duration``) and the
+tracer's own bookkeeping (``Tracer.wall_overhead``), so a run can report
+how much real time observability itself consumed.
+
+Events land in a bounded in-memory ring buffer: a long campaign cannot
+exhaust memory; once the buffer wraps, the oldest events are dropped and
+counted in ``Tracer.dropped``.
+
+The tracer learns simulated time through :meth:`Tracer.bind_clock`,
+which accepts either a ``Simulation`` (anything with a ``.now`` float
+attribute) or a zero-argument callable.  Unbound tracers stamp events
+with ``nan`` rather than failing — instrumented library code must never
+crash the system it observes.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from collections import deque
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterator
+
+__all__ = ["TraceEvent", "Span", "Tracer"]
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One structured record in the trace stream."""
+
+    name: str
+    kind: str  # "event" | "span"
+    sim_time: float
+    seq: int
+    fields: dict[str, Any] = field(default_factory=dict)
+    span_id: int | None = None
+    parent_id: int | None = None
+    sim_duration: float | None = None
+    wall_duration: float | None = None
+
+    def to_dict(self) -> dict[str, Any]:
+        """Flat JSON-friendly form (used by the JSONL exporter)."""
+        out: dict[str, Any] = {
+            "name": self.name,
+            "kind": self.kind,
+            "sim_time": self.sim_time,
+            "seq": self.seq,
+        }
+        if self.span_id is not None:
+            out["span_id"] = self.span_id
+        if self.parent_id is not None:
+            out["parent_id"] = self.parent_id
+        if self.sim_duration is not None:
+            out["sim_duration"] = self.sim_duration
+        if self.wall_duration is not None:
+            out["wall_duration"] = self.wall_duration
+        if self.fields:
+            out["fields"] = dict(self.fields)
+        return out
+
+
+class Span:
+    """An open span: close it with :meth:`end` (or via ``Tracer.span``)."""
+
+    __slots__ = (
+        "tracer",
+        "name",
+        "span_id",
+        "parent_id",
+        "fields",
+        "sim_start",
+        "_wall_start",
+        "_closed",
+    )
+
+    def __init__(
+        self,
+        tracer: "Tracer",
+        name: str,
+        span_id: int,
+        parent_id: int | None,
+        fields: dict[str, Any],
+    ) -> None:
+        self.tracer = tracer
+        self.name = name
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.fields = fields
+        self.sim_start = tracer.sim_now()
+        self._wall_start = time.perf_counter()
+        self._closed = False
+
+    def set(self, **fields: Any) -> "Span":
+        """Attach (or overwrite) result fields before the span closes."""
+        self.fields.update(fields)
+        return self
+
+    def end(self) -> TraceEvent | None:
+        """Close the span, emitting its completed event."""
+        if self._closed:
+            return None
+        self._closed = True
+        return self.tracer._end_span(self)
+
+
+class Tracer:
+    """Collects :class:`TraceEvent` records in a bounded ring buffer."""
+
+    def __init__(self, capacity: int = 65536) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self._events: deque[TraceEvent] = deque(maxlen=capacity)
+        self._clock: Callable[[], float] | None = None
+        self._seq = 0
+        self._span_stack: list[int] = []
+        self._next_span_id = 0
+        #: Events evicted from the ring buffer after it filled.
+        self.dropped = 0
+        #: Wall-clock seconds spent inside the tracer's own bookkeeping.
+        self.wall_overhead = 0.0
+
+    # -- clock ----------------------------------------------------------
+
+    def bind_clock(self, clock: Any) -> None:
+        """Bind the simulated-time source (a ``Simulation`` or callable)."""
+        if clock is None:
+            self._clock = None
+        elif callable(clock):
+            self._clock = clock
+        elif hasattr(clock, "now"):
+            self._clock = lambda: clock.now
+        else:
+            raise TypeError(
+                f"clock must be callable or expose .now, got {type(clock).__name__}"
+            )
+
+    def sim_now(self) -> float:
+        """Current simulated time, or ``nan`` when no clock is bound."""
+        if self._clock is None:
+            return math.nan
+        return float(self._clock())
+
+    # -- recording ------------------------------------------------------
+
+    def _append(self, event: TraceEvent) -> None:
+        if len(self._events) == self.capacity:
+            self.dropped += 1
+        self._events.append(event)
+
+    def event(
+        self, name: str, *, sim_time: float | None = None, **fields: Any
+    ) -> TraceEvent:
+        """Record a point event stamped at ``sim_time`` (default: now)."""
+        t0 = time.perf_counter()
+        ev = TraceEvent(
+            name=name,
+            kind="event",
+            sim_time=self.sim_now() if sim_time is None else float(sim_time),
+            seq=self._seq,
+            fields=fields,
+            parent_id=self._span_stack[-1] if self._span_stack else None,
+        )
+        self._seq += 1
+        self._append(ev)
+        self.wall_overhead += time.perf_counter() - t0
+        return ev
+
+    def start_span(self, name: str, **fields: Any) -> Span:
+        """Open a span; the caller must :meth:`Span.end` it."""
+        t0 = time.perf_counter()
+        span = Span(
+            self,
+            name,
+            span_id=self._next_span_id,
+            parent_id=self._span_stack[-1] if self._span_stack else None,
+            fields=fields,
+        )
+        self._next_span_id += 1
+        self._span_stack.append(span.span_id)
+        self.wall_overhead += time.perf_counter() - t0
+        return span
+
+    def _end_span(self, span: Span) -> TraceEvent:
+        t0 = time.perf_counter()
+        # Tolerate out-of-order closes: drop the span from wherever it is.
+        if span.span_id in self._span_stack:
+            self._span_stack.remove(span.span_id)
+        sim_end = self.sim_now()
+        ev = TraceEvent(
+            name=span.name,
+            kind="span",
+            sim_time=span.sim_start,
+            seq=self._seq,
+            fields=span.fields,
+            span_id=span.span_id,
+            parent_id=span.parent_id,
+            sim_duration=sim_end - span.sim_start,
+            wall_duration=time.perf_counter() - span._wall_start,
+        )
+        self._seq += 1
+        self._append(ev)
+        self.wall_overhead += time.perf_counter() - t0
+        return ev
+
+    @contextmanager
+    def span(self, name: str, **fields: Any) -> Iterator[Span]:
+        """``with tracer.span("refit", n=64) as sp: ...`` — closes on exit."""
+        sp = self.start_span(name, **fields)
+        try:
+            yield sp
+        finally:
+            sp.end()
+
+    # -- inspection -----------------------------------------------------
+
+    def events(self, name: str | None = None) -> list[TraceEvent]:
+        """Buffered events, oldest first, optionally filtered by name."""
+        if name is None:
+            return list(self._events)
+        return [e for e in self._events if e.name == name]
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def clear(self) -> None:
+        """Drop all buffered events and reset drop/overhead accounting."""
+        self._events.clear()
+        self._span_stack.clear()
+        self.dropped = 0
+        self.wall_overhead = 0.0

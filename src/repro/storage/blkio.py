@@ -24,6 +24,8 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass
 
+from repro.obs import OBS
+
 __all__ = ["StreamDemand", "compute_rates", "MAX_FLOOR_UTILISATION"]
 
 #: Writeback floors may reserve at most this fraction of the device:
@@ -55,8 +57,10 @@ class StreamDemand:
             raise ValueError(f"weight must be finite and > 0, got {self.weight!r}")
         if self.peak_rate <= 0 or not math.isfinite(self.peak_rate):
             raise ValueError(f"peak_rate must be finite and > 0, got {self.peak_rate!r}")
-        if self.cap <= 0:
-            raise ValueError(f"cap must be > 0, got {self.cap!r}")
+        # NaN must be rejected explicitly: ``nan <= 0`` is False, and a NaN
+        # cap would otherwise poison min(cap, peak_rate) into NaN rates.
+        if math.isnan(self.cap) or self.cap <= 0:
+            raise ValueError(f"cap must be > 0 (inf = uncapped), got {self.cap!r}")
         if self.floor < 0 or not math.isfinite(self.floor):
             raise ValueError(f"floor must be finite and >= 0, got {self.floor!r}")
 
@@ -93,7 +97,10 @@ def compute_rates(demands: list[StreamDemand]) -> dict[int, float]:
     extra: dict[int, float] = {d.key: 0.0 for d in demands}
     active = list(demands)
     remaining_util = 1.0 - total_floor
+    rounds = 0
+    capped_total = 0
     while active and remaining_util > 1e-15:
+        rounds += 1
         total_w = sum(d.weight for d in active)
         capped = []
         uncapped = []
@@ -109,11 +116,20 @@ def compute_rates(demands: list[StreamDemand]) -> dict[int, float]:
             for d in active:
                 extra[d.key] = remaining_util * d.weight / total_w
             break
+        capped_total += len(capped)
         for d, headroom in capped:
             extra[d.key] = headroom
             remaining_util -= headroom
         remaining_util = max(remaining_util, 0.0)
         active = uncapped
+    if OBS.enabled:
+        reg = OBS.registry
+        reg.counter("blkio.compute_rates.calls").inc()
+        reg.counter("blkio.compute_rates.rounds").inc(rounds)
+        reg.counter("blkio.compute_rates.capped_streams").inc(capped_total)
+        reg.histogram("blkio.compute_rates.streams", buckets=(1, 2, 4, 8, 16, 32, 64)).observe(
+            len(demands)
+        )
     return {
         d.key: (floor_utils[d.key] + extra[d.key]) * d.peak_rate for d in demands
     }

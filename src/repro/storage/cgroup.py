@@ -19,6 +19,7 @@ import math
 from typing import TYPE_CHECKING
 
 from repro.core.weights import BLKIO_WEIGHT_MAX, BLKIO_WEIGHT_MIN
+from repro.obs import OBS
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.storage.device import BlockDevice
@@ -55,9 +56,21 @@ class BlkioCgroup:
 
     def set_blkio_weight(self, weight: int, *, now: float | None = None) -> None:
         """Adjust the proportional weight at runtime."""
+        old = self._weight
         self._weight = self._validate_weight(weight)
         if now is not None:
             self.weight_history.append((now, self._weight))
+        if OBS.enabled:
+            OBS.tracer.event(
+                "cgroup.weight_change",
+                sim_time=now,
+                cgroup=self.name,
+                old=old,
+                new=self._weight,
+            )
+            reg = OBS.registry
+            reg.counter("cgroup.weight_changes").inc(cgroup=self.name)
+            reg.gauge("cgroup.blkio_weight").set(self._weight, cgroup=self.name)
         self._notify_devices()
 
     # -- throttling -----------------------------------------------------

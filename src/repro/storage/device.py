@@ -20,6 +20,7 @@ import math
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Literal
 
+from repro.obs import OBS
 from repro.simkernel import Event, Simulation
 from repro.storage.blkio import StreamDemand, compute_rates
 from repro.util.units import GiB, TiB, mb_per_s
@@ -341,6 +342,10 @@ class BlockDevice:
             s.rate = rates[s.key]
             if s.rate > 0:
                 horizon = min(horizon, s.remaining / s.rate)
+        if OBS.enabled:
+            reg = OBS.registry
+            reg.counter("device.reschedules").inc(device=self.name)
+            reg.gauge("device.active_streams").set(len(self._streams), device=self.name)
         if math.isfinite(horizon):
             self._completion_handle = self.sim.schedule(max(horizon, 0.0), self.reschedule)
 
@@ -358,6 +363,17 @@ class BlockDevice:
                 started_at=s.started_at,
                 finished_at=self.sim.now,
             )
+            if OBS.enabled:
+                reg = OBS.registry
+                reg.counter("device.completions").inc(
+                    device=self.name, direction=s.direction
+                )
+                reg.counter("device.bytes_completed").inc(
+                    s.nbytes, device=self.name, direction=s.direction
+                )
+                reg.histogram("device.service_time").observe(
+                    stats.service_time, device=self.name, direction=s.direction
+                )
             s.event.succeed(stats)
 
     def instantaneous_rate(self, cgroup: "BlkioCgroup") -> float:

@@ -4,6 +4,11 @@ A :class:`DeviceSampler` polls a device on a fixed cadence and records the
 instantaneous aggregate service rate per direction plus the active stream
 count — the "instantaneous bandwidth" view that complements the per-step
 "average I/O performance" the analytics itself measures.
+
+The sampler owns its pending timer: :meth:`DeviceSampler.stop` cancels it
+in O(1) (see :class:`repro.simkernel.events.ScheduledCallback`), so a
+scenario can tear its sampler down when the workload finishes instead of
+letting idle ticks pad ``samples`` and skew ``busy_fraction()``.
 """
 
 from __future__ import annotations
@@ -12,7 +17,9 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.obs import OBS
 from repro.simkernel import Simulation
+from repro.simkernel.events import ScheduledCallback
 from repro.storage.device import BlockDevice
 from repro.util.validation import check_positive
 
@@ -40,6 +47,7 @@ class DeviceSampler:
     interval: float = 5.0
     samples: list[DeviceSample] = field(default_factory=list)
     _running: bool = False
+    _handle: ScheduledCallback | None = field(default=None, repr=False)
 
     def start(self) -> "DeviceSampler":
         check_positive("interval", self.interval)
@@ -49,19 +57,37 @@ class DeviceSampler:
         self._tick()
         return self
 
+    def stop(self) -> "DeviceSampler":
+        """Cancel the pending tick; the sampler can be restarted later."""
+        if self._handle is not None:
+            self._handle.cancel()
+            self._handle = None
+        self._running = False
+        return self
+
+    @property
+    def is_running(self) -> bool:
+        return self._running
+
     def _tick(self) -> None:
         rates = {"read": 0.0, "write": 0.0}
         for stream in self.device._streams.values():
             rates[stream.direction] += stream.rate
-        self.samples.append(
-            DeviceSample(
-                time=self.sim.now,
-                read_rate=rates["read"],
-                write_rate=rates["write"],
-                active_streams=self.device.active_stream_count,
-            )
+        sample = DeviceSample(
+            time=self.sim.now,
+            read_rate=rates["read"],
+            write_rate=rates["write"],
+            active_streams=self.device.active_stream_count,
         )
-        self.sim.schedule(self.interval, self._tick)
+        self.samples.append(sample)
+        if OBS.enabled:
+            reg = OBS.registry
+            reg.counter("sampler.ticks").inc(device=self.device.name)
+            reg.gauge("sampler.total_rate").set(sample.total_rate, device=self.device.name)
+            reg.gauge("sampler.active_streams").set(
+                sample.active_streams, device=self.device.name
+            )
+        self._handle = self.sim.schedule(self.interval, self._tick)
 
     # -- analysis ---------------------------------------------------------
 

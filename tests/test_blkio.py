@@ -6,7 +6,7 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.storage.blkio import StreamDemand, compute_rates
+from repro.storage.blkio import MAX_FLOOR_UTILISATION, StreamDemand, compute_rates
 
 PEAK = 200e6
 
@@ -140,3 +140,58 @@ class TestConservation:
     def test_property_weight_monotone(self, w_hi, w_lo):
         rates = compute_rates([d(0, w_hi), d(1, w_lo)])
         assert rates[0] >= rates[1]
+
+
+class TestNaNCap:
+    def test_nan_cap_rejected(self):
+        """Regression: ``nan <= 0`` is False, so a NaN cap used to pass
+        validation and poison every computed rate with NaN."""
+        with pytest.raises(ValueError):
+            d(0, 100, cap=math.nan)
+
+    def test_inf_cap_still_means_unthrottled(self):
+        assert compute_rates([d(0, 100, cap=math.inf)])[0] == pytest.approx(PEAK)
+
+
+class TestAllocationInvariants:
+    """Satellite invariants: the properties every allocation must hold."""
+
+    def test_paper_weight_raise_shifts_split(self):
+        """200 MB/s device: equal weights give 100/100; raising one
+        weight 100 -> 200 shifts the split to 133/67 (paper Section II)."""
+        before = compute_rates([d(0, 100), d(1, 100)])
+        assert before[0] == pytest.approx(100e6)
+        assert before[1] == pytest.approx(100e6)
+        after = compute_rates([d(0, 200), d(1, 100)])
+        assert after[0] == pytest.approx(PEAK * 2 / 3)  # ~133 MB/s
+        assert after[1] == pytest.approx(PEAK * 1 / 3)  # ~67 MB/s
+
+    @given(weights=st.lists(st.floats(100, 1000), min_size=2, max_size=8))
+    @settings(max_examples=50, deadline=None)
+    def test_property_uncapped_split_is_weight_proportional(self, weights):
+        demands = [d(i, w) for i, w in enumerate(weights)]
+        rates = compute_rates(demands)
+        total_w = sum(weights)
+        for dm in demands:
+            assert rates[dm.key] == pytest.approx(PEAK * dm.weight / total_w)
+
+    @given(
+        floors=st.lists(st.floats(0, 4e8), min_size=1, max_size=6),
+        reader_weight=st.floats(100, 1000),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_property_floors_bounded_and_utilisation_conserved(
+        self, floors, reader_weight
+    ):
+        """However oversubscribed the floors, total utilisation stays <= 1
+        and the floor reservation never exceeds MAX_FLOOR_UTILISATION —
+        an unfloored reader always keeps its weight share of the rest."""
+        demands = [d(i, 100, floor=f) for i, f in enumerate(floors)]
+        reader = d(len(floors), reader_weight)
+        demands.append(reader)
+        rates = compute_rates(demands)
+        util = sum(rates[dm.key] / dm.peak_rate for dm in demands)
+        assert util <= 1.0 + 1e-9
+        total_w = 100 * len(floors) + reader_weight
+        reader_share = (1.0 - MAX_FLOOR_UTILISATION) * PEAK * reader_weight / total_w
+        assert rates[reader.key] >= reader_share - 1e-6

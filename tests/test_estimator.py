@@ -161,3 +161,38 @@ class TestDFTProperties:
         pred = np.asarray(est.predict(np.arange(n, n + period)))
         truth = base + amp * np.cos(2 * np.pi * np.arange(n, n + period) / period)
         np.testing.assert_allclose(pred, truth, rtol=1e-9, atol=1e-6 * (abs(base) + amp))
+
+
+class TestZeroThreshold:
+    """Regression: ``keep = amp >= cutoff`` with cutoff == 0 kept every
+    zero-amplitude component, inflating num_kept_components to n and
+    densifying predict() to O(n*s) for a clean periodic signal."""
+
+    def test_thresh_zero_keeps_only_positive_amplitudes(self):
+        t = np.arange(32)
+        history = 5.0 + np.sin(2 * np.pi * t / 8)
+        est = DFTEstimator(thresh=0.0).fit(history)
+        # DC + the two conjugate bins of the sine: far fewer than n.
+        assert est.num_kept_components <= 4
+        # The periodic extension still forecasts exactly.
+        future = np.arange(32, 64)
+        np.testing.assert_allclose(
+            est.predict(future), 5.0 + np.sin(2 * np.pi * future / 8), atol=1e-9
+        )
+
+    def test_constant_history_keeps_only_dc(self):
+        est = DFTEstimator(thresh=0.0).fit(np.full(16, 7.5))
+        assert est.num_kept_components == 1
+        assert est.predict(100) == pytest.approx(7.5)
+
+    def test_constant_history_default_thresh(self):
+        est = DFTEstimator().fit(np.full(16, 3.0))
+        assert est.num_kept_components == 1
+        assert est.predict(40) == pytest.approx(3.0)
+
+    def test_keep_dc_false_on_constant_history_predicts_zero(self):
+        """Dropping DC on a constant signal leaves no components: the
+        prediction is all-zeros (pinned, documented behaviour)."""
+        est = DFTEstimator(thresh=0.0, keep_dc=False).fit(np.full(16, 7.5))
+        assert est.num_kept_components == 0
+        np.testing.assert_allclose(est.predict(np.arange(8)), 0.0)

@@ -204,3 +204,59 @@ class TestChurn:
             proc.interrupt("end of experiment")
         sim.run(until=101.0)
         assert not proc.is_alive
+
+
+class TestDeviceSamplerStop:
+    """Regression: the sampler discarded its schedule handle, so _tick
+    rescheduled forever and idle rows padded ``samples`` after the
+    workload finished, skewing busy_fraction()/utilisation()."""
+
+    def test_stop_cancels_pending_tick(self, sim, device, cgroups):
+        sampler = DeviceSampler(sim, device, interval=1.0).start()
+        device.submit(cgroups.create("a"), int(mb_to_bytes(200)), "read")
+        sim.run(until=1.0)  # 200 MB at 200 MB/s finishes exactly at t=1
+        sampler.stop()
+        n = len(sampler.samples)
+        assert not sampler.is_running
+        sim.run(until=60.0)
+        assert len(sampler.samples) == n  # no idle padding
+        assert sim.pending_count == 0
+
+    def test_busy_fraction_not_diluted_after_stop(self, sim, device, cgroups):
+        device.submit(cgroups.create("a"), int(mb_to_bytes(200)), "read")
+        sim.step()  # start the stream so the t=0 sample sees it
+        sampler = DeviceSampler(sim, device, interval=0.25).start()
+        sim.run(until=0.9)
+        sampler.stop()
+        busy_at_stop = sampler.busy_fraction()
+        sim.run(until=120.0)
+        assert sampler.busy_fraction() == busy_at_stop == 1.0
+
+    def test_restart_after_stop(self, sim, device, cgroups):
+        sampler = DeviceSampler(sim, device, interval=1.0).start()
+        sim.run(until=2.0)
+        sampler.stop()
+        n = len(sampler.samples)
+        sampler.start()
+        sim.run(until=4.0)
+        assert sampler.is_running
+        assert len(sampler.samples) > n
+
+    def test_stop_before_start_is_noop(self, sim, device):
+        DeviceSampler(sim, device).stop()  # must not raise
+
+    def test_scenario_teardown_stops_sampler(self):
+        """run_scenario's sampler never records beyond the run."""
+        from repro.experiments.config import ScenarioConfig
+        from repro.experiments.runner import run_scenario
+        from repro.obs import OBS
+
+        OBS.reset()
+        OBS.enable()
+        try:
+            result = run_scenario(ScenarioConfig(max_steps=3, seed=0))
+        finally:
+            OBS.disable()
+            OBS.reset()
+        assert result.device_samples
+        assert all(s.time <= result.final_time for s in result.device_samples)

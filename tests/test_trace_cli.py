@@ -140,3 +140,69 @@ class TestCliCommands:
 
     def test_iobench_no_streams(self, capsys):
         assert main(["iobench", "--readers", "0", "--writers", "0"]) == 2
+
+
+class TestJsonNativeLists:
+    """Regression: JSON output used to ship ``weights``/``bucket_times``
+    as ``";"``-joined strings because the row flattener was shared with
+    the CSV writer."""
+
+    def test_json_keeps_native_lists(self, result):
+        data = json.loads(to_json_text(result.records))
+        for row, rec in zip(data, result.records):
+            assert row["weights"] == list(rec.weights)
+            assert row["bucket_times"] == pytest.approx(list(rec.bucket_times))
+            assert all(isinstance(w, int) for w in row["weights"])
+
+    def test_csv_still_flattens(self, result):
+        parsed = list(csv.DictReader(io.StringIO(to_csv_text(result.records))))
+        rec = next(r for r in result.records if len(r.weights) > 1)
+        row = parsed[rec.step]
+        assert row["weights"] == ";".join(str(w) for w in rec.weights)
+        assert ";" in row["bucket_times"]
+
+    def test_roundtrip_csv_matches_json(self, result):
+        """Both formats carry the same values, just shaped differently."""
+        data = json.loads(to_json_text(result.records))
+        parsed = list(csv.DictReader(io.StringIO(to_csv_text(result.records))))
+        for jrow, crow in zip(data, parsed):
+            assert [int(w) for w in crow["weights"].split(";") if w] == jrow["weights"]
+            assert float(crow["io_time"]) == pytest.approx(jrow["io_time"])
+
+
+class TestCliObservability:
+    def test_scenario_trace_and_metrics_out(self, capsys, tmp_path):
+        from repro.obs import OBS
+        from repro.obs.export import read_events_jsonl
+
+        trace = tmp_path / "trace.jsonl"
+        metrics = tmp_path / "metrics.json"
+        code = main([
+            "scenario", "--steps", "3", "--json",
+            "--trace-out", str(trace), "--metrics-out", str(metrics),
+        ])
+        assert code == 0
+        events = read_events_jsonl(str(trace))
+        names = {e["name"] for e in events}
+        assert {"controller.decision", "cgroup.weight_change", "scenario"} <= names
+        snap = json.loads(metrics.read_text())
+        assert snap["controller.decisions"]["series"][0]["value"] == 3
+        # The CLI restores the disabled default afterwards.
+        assert not OBS.enabled and len(OBS.tracer) == 0
+
+    def test_metrics_out_csv(self, capsys, tmp_path):
+        metrics = tmp_path / "metrics.csv"
+        assert main(["scenario", "--steps", "2", "--json",
+                     "--metrics-out", str(metrics)]) == 0
+        assert metrics.read_text().startswith("metric,kind,labels")
+
+    def test_figure_accepts_obs_flags(self, capsys, tmp_path):
+        trace = tmp_path / "fig.jsonl"
+        assert main(["figure", "fig05", "--fast", "--trace-out", str(trace)]) == 0
+        assert trace.exists()
+
+    def test_plain_run_stays_disabled(self, capsys):
+        from repro.obs import OBS
+
+        assert main(["scenario", "--steps", "2", "--json"]) == 0
+        assert not OBS.enabled and len(OBS.tracer) == 0

@@ -151,3 +151,45 @@ class TestValidation:
         raw = wf_nrmse.raw(1e9, 0.5, 100.0)
         assert raw > BLKIO_WEIGHT_MAX
         assert wf_nrmse(1e9, 0.5, 100.0) == BLKIO_WEIGHT_MAX
+
+
+class TestRounding:
+    """Regression: ``int(round(...))`` used banker's rounding, mapping
+    half-way weights to the nearest *even* integer (150.5 -> 150)."""
+
+    @staticmethod
+    def _identity_wf():
+        # k2=1, b2=0 and a denominator of exactly 1 (|lg 0.1| = 1), so the
+        # raw weight equals cardinality * priority.
+        return WeightFunction(
+            metric=ErrorMetric.NRMSE,
+            k2=1.0,
+            b2=0.0,
+            pinned_priority=1.0,
+            pinned_accuracy=0.1,
+        )
+
+    def test_half_rounds_up_even(self):
+        wf = self._identity_wf()
+        assert wf.raw(150.5, 0.1, 1.0) == pytest.approx(150.5)
+        assert wf(150.5, 0.1, 1.0) == 151  # banker's rounding gave 150
+
+    def test_half_rounds_up_odd(self):
+        wf = self._identity_wf()
+        assert wf(151.5, 0.1, 1.0) == 152
+
+    def test_boundaries_unaffected(self):
+        wf = self._identity_wf()
+        assert wf(BLKIO_WEIGHT_MIN, 0.1, 1.0) == BLKIO_WEIGHT_MIN
+        assert wf(BLKIO_WEIGHT_MAX, 0.1, 1.0) == BLKIO_WEIGHT_MAX
+
+    def test_clipping_still_exact_at_extremes(self):
+        wf = self._identity_wf()
+        assert wf(5.0, 0.1, 1.0) == BLKIO_WEIGHT_MIN  # below range clips up
+        assert wf(1e9, 0.1, 1.0) == BLKIO_WEIGHT_MAX  # above range clips down
+
+    @given(card=st.floats(100, 1000))
+    @settings(max_examples=50, deadline=None)
+    def test_property_rounding_within_half(self, card):
+        wf = self._identity_wf()
+        assert abs(wf(card, 0.1, 1.0) - card) <= 0.5
