@@ -9,8 +9,6 @@ Tango did each step.
 Run:  python examples/quickstart.py
 """
 
-import numpy as np
-
 from repro.apps import make_app
 from repro.core import ErrorMetric, build_ladder, decompose, nrmse
 from repro.experiments import ScenarioConfig, run_scenario

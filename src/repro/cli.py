@@ -19,101 +19,105 @@ from typing import Callable
 __all__ = ["main", "build_parser", "FIGURES"]
 
 
-def _fig01(fast: bool):
+def _fig01(fast: bool, workers=1):
     from repro.experiments.fig01 import run_fig01
 
     return run_fig01(max_steps=15 if fast else 40)
 
 
-def _fig02(fast: bool):
+def _fig02(fast: bool, workers=1):
     from repro.experiments.fig02 import run_fig02
 
     return run_fig02(ratios=(4, 16, 64) if fast else (4, 16, 64, 256, 512))
 
 
-def _fig05(fast: bool):
+def _fig05(fast: bool, workers=1):
     from repro.experiments.fig05 import run_fig05
 
     return run_fig05()
 
 
-def _fig07(fast: bool):
+def _fig07(fast: bool, workers=1):
     from repro.experiments.fig07 import run_fig07
 
     return run_fig07(max_steps=60)
 
 
-def _fig08(fast: bool):
+def _fig08(fast: bool, workers=1):
     from repro.experiments.fig08 import run_fig08
 
-    return run_fig08(replications=1 if fast else 3, max_steps=30 if fast else 60)
+    return run_fig08(replications=1 if fast else 3, max_steps=30 if fast else 60, workers=workers)
 
 
-def _fig09(fast: bool):
+def _fig09(fast: bool, workers=1):
     from repro.experiments.fig09 import run_fig09
 
     return run_fig09(replications=1 if fast else 2, max_steps=30 if fast else 50)
 
 
-def _fig10(fast: bool):
+def _fig10(fast: bool, workers=1):
     from repro.experiments.fig10 import run_fig10
 
-    return run_fig10(replications=1 if fast else 2, max_steps=30 if fast else 50)
+    return run_fig10(replications=1 if fast else 2, max_steps=30 if fast else 50, workers=workers)
 
 
-def _fig11(fast: bool):
+def _fig11(fast: bool, workers=1):
     from repro.experiments.fig11 import run_fig11
 
     return run_fig11(include_over_resolved=not fast)
 
 
-def _fig12(fast: bool):
+def _fig12(fast: bool, workers=1):
     from repro.experiments.fig12 import run_fig12
 
     return run_fig12(
         replications=1 if fast else 3,
         max_steps=25 if fast else 50,
         noise_counts=(1, 3, 6) if fast else (1, 2, 3, 4, 5, 6),
+        workers=workers,
     )
 
 
-def _fig13(fast: bool):
+def _fig13(fast: bool, workers=1):
     from repro.experiments.fig13 import run_fig13
 
-    return run_fig13(replications=1 if fast else 3, max_steps=25 if fast else 60)
+    return run_fig13(replications=1 if fast else 3, max_steps=25 if fast else 60, workers=workers)
 
 
-def _fig14(fast: bool):
+def _fig14(fast: bool, workers=1):
     from repro.experiments.fig14 import run_fig14
 
-    return run_fig14(replications=1 if fast else 3, max_steps=25 if fast else 60)
+    return run_fig14(replications=1 if fast else 3, max_steps=25 if fast else 60, workers=workers)
 
 
-def _fig15(fast: bool):
+def _fig15(fast: bool, workers=1):
     from repro.experiments.fig15 import run_fig15
 
     return run_fig15()
 
 
-def _fig16(fast: bool):
+def _fig16(fast: bool, workers=1):
     from repro.experiments.fig16 import run_fig16
 
-    return run_fig16(node_counts=(1, 2) if fast else (1, 2, 4), parallel=not fast)
+    return run_fig16(
+        node_counts=(1, 2) if fast else (1, 2, 4),
+        parallel=(not fast) or workers not in (None, 1),
+    )
 
 
-def _headline(fast: bool):
+def _headline(fast: bool, workers=1):
     from repro.experiments.headline import run_headline
 
     return run_headline(replications=1 if fast else 3, max_steps=30 if fast else 60)
 
 
-def _threetier(fast: bool):
+def _threetier(fast: bool, workers=1):
     from repro.experiments.threetier import run_threetier
 
     return run_threetier(replications=1 if fast else 2, max_steps=25 if fast else 50)
 
 
-def _campaign(fast: bool):
+def _campaign(fast: bool, workers=1):
     from repro.experiments.campaign import CampaignConfig, run_campaign
     from repro.workloads.churn import ChurnSpec
 
@@ -129,8 +133,10 @@ def _campaign(fast: bool):
     )
 
 
-#: Registry of regenerable paper artifacts.
-FIGURES: dict[str, Callable[[bool], object]] = {
+#: Regenerable paper artifacts: name -> callable(fast, workers=1).
+#: ``workers`` fans grid sweeps out over a SweepExecutor process pool
+#: where the underlying figure supports it; the rest ignore it.
+FIGURES: dict[str, Callable[..., object]] = {
     "fig01": _fig01,
     "fig02": _fig02,
     "fig05": _fig05,
@@ -204,19 +210,19 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
+    # Choices come from the engine registries, so plugged-in components
+    # (registered before build_parser is called) are selectable here too.
+    from repro.engine.registry import APPS, ESTIMATORS, POLICIES
+
     sc = sub.add_parser("scenario", help="run one single-node scenario")
-    sc.add_argument("--app", default="xgc", choices=("xgc", "genasis", "cfd"))
-    sc.add_argument(
-        "--policy",
-        default="cross-layer",
-        choices=("no-adaptivity", "storage-only", "app-only", "cross-layer"),
-    )
+    sc.add_argument("--app", default="xgc", choices=APPS.names())
+    sc.add_argument("--policy", default="cross-layer", choices=POLICIES.names())
     sc.add_argument("--steps", type=int, default=30)
     sc.add_argument("--seed", type=int, default=0)
     sc.add_argument("--priority", type=float, default=10.0)
     sc.add_argument("--bound", type=float, default=0.01, help="prescribed NRMSE bound")
     sc.add_argument("--noises", type=int, default=6, help="number of Table IV noises")
-    sc.add_argument("--estimator", default="dft", choices=("dft", "mean", "last"))
+    sc.add_argument("--estimator", default="dft", choices=ESTIMATORS.names())
     sc.add_argument("--csv", metavar="PATH", help="write the per-step trace as CSV")
     sc.add_argument("--json", action="store_true", help="print a JSON summary")
     sc.add_argument(
@@ -230,6 +236,13 @@ def build_parser() -> argparse.ArgumentParser:
     fig.add_argument("name", choices=sorted(FIGURES))
     fig.add_argument("--fast", action="store_true", help="reduced-scale run")
     fig.add_argument("--out", metavar="PATH", help="also write the rows to a file")
+    fig.add_argument(
+        "--workers",
+        default="1",
+        metavar="N",
+        help="process-pool size for grid sweeps ('auto' = all CPUs; "
+        "figures without a sweep ignore it)",
+    )
     _add_obs_args(fig)
 
     io = sub.add_parser(
@@ -253,6 +266,13 @@ def build_parser() -> argparse.ArgumentParser:
     exp.add_argument("name", choices=sorted(FIGURES))
     exp.add_argument("path", help="output JSON file")
     exp.add_argument("--fast", action="store_true", help="reduced-scale run")
+    exp.add_argument(
+        "--workers",
+        default="1",
+        metavar="N",
+        help="process-pool size for grid sweeps ('auto' = all CPUs; "
+        "figures without a sweep ignore it)",
+    )
 
     sub.add_parser("tables", help="print the paper's survey tables")
     sub.add_parser("list", help="list regenerable artifacts")
@@ -302,10 +322,14 @@ def _cmd_scenario(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_workers(raw: str):
+    return raw if raw == "auto" else int(raw)
+
+
 def _cmd_figure(args: argparse.Namespace) -> int:
     obs_on = _obs_begin(args)
     try:
-        result = FIGURES[args.name](args.fast)
+        result = FIGURES[args.name](args.fast, workers=_parse_workers(args.workers))
     finally:
         if obs_on:
             _obs_finish(args)
@@ -376,7 +400,7 @@ def _cmd_iobench(args: argparse.Namespace) -> int:
 def _cmd_export(args: argparse.Namespace) -> int:
     from repro.experiments.export import export_figure
 
-    export_figure(args.name, args.path, fast=args.fast)
+    export_figure(args.name, args.path, fast=args.fast, workers=_parse_workers(args.workers))
     print(f"JSON plot data written to {args.path}", file=sys.stderr)
     return 0
 

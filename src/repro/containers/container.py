@@ -7,13 +7,8 @@ adjustment that storage-layer adaptivity relies on.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING
-
 from repro.simkernel import Process, Simulation
 from repro.storage.cgroup import BlkioCgroup
-
-if TYPE_CHECKING:  # pragma: no cover
-    from repro.containers.runtime import ContainerRuntime
 
 __all__ = ["Container"]
 

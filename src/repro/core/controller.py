@@ -21,7 +21,7 @@ step.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 
@@ -29,7 +29,8 @@ from repro.core.abplot import AugmentationBandwidthPlot
 from repro.core.error_control import AccuracyLadder
 from repro.core.estimator import BandwidthEstimator, DFTEstimator
 from repro.core.recompose import RecompositionPlan, plan_recomposition
-from repro.core.weights import WeightFunction
+from repro.core.weights import WeightFunction, calibrate_weight_function
+from repro.engine.registry import POLICIES, register_policy
 from repro.obs import OBS
 
 __all__ = [
@@ -84,6 +85,27 @@ class Policy:
         self.weight_fn = weight_fn if self.storage_adaptive else None
         self.weight_cardinality = weight_cardinality
 
+    @classmethod
+    def build_weight_function(
+        cls,
+        ladder: AccuracyLadder,
+        *,
+        use_priority: bool = True,
+        use_accuracy: bool = True,
+    ) -> WeightFunction | None:
+        """The weight function this policy wants for ``ladder``.
+
+        ``None`` means the container keeps the default blkio weight (the
+        non-storage-adaptive policies).  Subclasses override this to pin
+        their own calibration; the ``use_*`` flags are the Fig. 13
+        ablation switches.
+        """
+        if not cls.storage_adaptive:
+            return None
+        return calibrate_weight_function(
+            ladder, use_priority=use_priority, use_accuracy=use_accuracy
+        )
+
     def plan(
         self,
         ladder: AccuracyLadder,
@@ -107,6 +129,7 @@ class Policy:
         return f"<{type(self).__name__} {self.name!r}>"
 
 
+@register_policy("no-adaptivity")
 class NoAdaptivityPolicy(Policy):
     """Baseline: full augmentation, static default weight."""
 
@@ -115,6 +138,7 @@ class NoAdaptivityPolicy(Policy):
     storage_adaptive = False
 
 
+@register_policy("storage-only")
 class StorageOnlyPolicy(Policy):
     """Single-layer storage adaptivity: full augmentation, weight from size.
 
@@ -128,7 +152,20 @@ class StorageOnlyPolicy(Policy):
     app_adaptive = False
     storage_adaptive = True
 
+    @classmethod
+    def build_weight_function(
+        cls,
+        ladder: AccuracyLadder,
+        *,
+        use_priority: bool = True,
+        use_accuracy: bool = True,
+    ) -> WeightFunction:
+        # Always cardinality-only, whatever the ablation flags: the paper
+        # defines this comparison point as weight ∝ augmentation size.
+        return calibrate_weight_function(ladder, use_priority=False, use_accuracy=False)
 
+
+@register_policy("app-only")
 class AppOnlyPolicy(Policy):
     """Single-layer application adaptivity: dynamic augmentation, weight 100."""
 
@@ -137,6 +174,7 @@ class AppOnlyPolicy(Policy):
     storage_adaptive = False
 
 
+@register_policy("cross-layer")
 class CrossLayerPolicy(Policy):
     """Tango: dynamic augmentation + full weight-function coordination."""
 
@@ -151,17 +189,9 @@ def make_policy(
     *,
     weight_cardinality: str = "bucket",
 ) -> Policy:
-    """Factory keyed by the names used across the experiments."""
-    table: dict[str, type[Policy]] = {
-        NoAdaptivityPolicy.name: NoAdaptivityPolicy,
-        StorageOnlyPolicy.name: StorageOnlyPolicy,
-        AppOnlyPolicy.name: AppOnlyPolicy,
-        CrossLayerPolicy.name: CrossLayerPolicy,
-    }
-    try:
-        cls = table[name]
-    except KeyError:
-        raise ValueError(f"unknown policy {name!r}; expected one of {sorted(table)}")
+    """Instantiate a policy from the :data:`~repro.engine.registry.POLICIES`
+    registry (keyed by the names used across the experiments)."""
+    cls = POLICIES.get(name)
     return cls(weight_fn, weight_cardinality=weight_cardinality)
 
 

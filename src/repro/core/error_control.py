@@ -26,7 +26,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.core import metrics as _metrics
-from repro.core.refactor import Decomposition, prolongate, recompose_full
+from repro.core.refactor import Decomposition, recompose_full
 
 __all__ = [
     "ErrorMetric",

@@ -20,6 +20,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.engine.registry import register_estimator
 from repro.obs import OBS
 from repro.util.validation import check_probability
 
@@ -188,3 +189,24 @@ class LastValueEstimator(BandwidthEstimator):
         if np.isscalar(steps):
             return self._last
         return np.full(np.asarray(steps).shape, self._last)
+
+
+# -- registry entries ---------------------------------------------------
+#
+# Factories take the scenario config (duck-typed: only the estimator's
+# own tuning attributes are read) and return a fresh, unfitted instance —
+# estimators are stateful, so instances are never shared.
+
+@register_estimator("dft")
+def _make_dft(config) -> DFTEstimator:
+    return DFTEstimator(getattr(config, "dft_thresh", 0.5))
+
+
+@register_estimator("mean")
+def _make_mean(config) -> MeanEstimator:
+    return MeanEstimator()
+
+
+@register_estimator("last")
+def _make_last(config) -> LastValueEstimator:
+    return LastValueEstimator()

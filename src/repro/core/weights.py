@@ -27,7 +27,12 @@ from dataclasses import dataclass
 from repro.core.error_control import ErrorMetric
 from repro.util.validation import check_positive
 
-__all__ = ["WeightFunction", "BLKIO_WEIGHT_MIN", "BLKIO_WEIGHT_MAX"]
+__all__ = [
+    "WeightFunction",
+    "calibrate_weight_function",
+    "BLKIO_WEIGHT_MIN",
+    "BLKIO_WEIGHT_MAX",
+]
 
 BLKIO_WEIGHT_MIN = 100
 BLKIO_WEIGHT_MAX = 1000
@@ -135,3 +140,31 @@ class WeightFunction:
         """
         w = self.raw(cardinality, eps, priority)
         return math.floor(min(max(w, BLKIO_WEIGHT_MIN), BLKIO_WEIGHT_MAX) + 0.5)
+
+
+def calibrate_weight_function(
+    ladder,
+    *,
+    use_priority: bool = True,
+    use_accuracy: bool = True,
+    priority_range: tuple[float, float] = (1.0, 10.0),
+) -> WeightFunction:
+    """Calibrate a :class:`WeightFunction` from what a ladder can produce.
+
+    ``ladder`` is an :class:`repro.core.error_control.AccuracyLadder`
+    (duck-typed here to keep this module free of that import): the
+    cardinality range comes from its buckets, the accuracy range from its
+    budget's bounds.
+    """
+    cards = [b.cardinality for b in ladder.buckets]
+    card_max = max(cards) if cards else 1
+    card_min = min((c for c in cards if c > 0), default=1)
+    bounds = ladder.budget.bounds
+    return WeightFunction.calibrated(
+        ladder.metric,
+        cardinality_range=(card_min, max(card_max, card_min + 1)),
+        accuracy_range=(bounds[0], bounds[-1]),
+        priority_range=priority_range,
+        use_priority=use_priority,
+        use_accuracy=use_accuracy,
+    )

@@ -1,0 +1,339 @@
+"""``ScenarioSession``: one simulated node, composed from a config.
+
+Every experiment entry point used to hand-wire the same stack —
+``Simulation`` → ``TieredStorage`` → ``ContainerRuntime`` → noise/churn
+→ ``TangoController`` → ``AnalyticsDriver`` → run loop → teardown.  The
+session owns that wiring once.  Callers compose a node step by step
+(the call order is the wiring order, so entry points keep their exact
+legacy event sequencing and stay bit-identical per seed):
+
+    session = ScenarioSession(config)
+    app, field, ladder = session.build_ladder()
+    dataset = session.stage("xgc-data", ladder)
+    session.launch_noise()
+    controller = session.build_controller(ladder)
+    driver = session.add_analytics("analytics", dataset, controller)
+    session.run()
+
+Components are resolved through the :mod:`repro.engine.registry`
+registries, so a config naming a registered estimator, policy, storage
+preset, placement, or app just works — including ones registered by
+downstream code the engine has never heard of.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+from repro.containers import Container, ContainerRuntime
+from repro.core.abplot import AugmentationBandwidthPlot
+from repro.core.controller import TangoController
+from repro.core.error_control import AccuracyLadder
+from repro.core.weights import WeightFunction, calibrate_weight_function
+from repro.engine import memo
+from repro.engine.registry import APPS, ESTIMATORS, POLICIES, STORAGE_PRESETS
+from repro.obs import OBS
+from repro.simkernel import Simulation
+from repro.storage.staging import (
+    StagedDataset,
+    TimeSeriesDataset,
+    stage_dataset,
+    stage_timeseries,
+)
+from repro.storage.tier import TieredStorage
+from repro.workloads.analytics import AnalyticsDriver
+from repro.workloads.churn import ChurnSpec, launch_churn
+from repro.workloads.noise import NoiseSpec, launch_noise
+
+__all__ = ["ScenarioSession", "make_weight_function", "AUTO"]
+
+
+class _Auto:
+    """Sentinel: derive the value from the session's config."""
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "<AUTO>"
+
+
+AUTO = _Auto()
+
+
+def make_weight_function(
+    ladder: AccuracyLadder,
+    *,
+    use_priority: bool = True,
+    use_accuracy: bool = True,
+    priority_range: tuple[float, float] = (1.0, 10.0),
+) -> WeightFunction:
+    """Calibrate the weight function from what this ladder can produce."""
+    return calibrate_weight_function(
+        ladder,
+        use_priority=use_priority,
+        use_accuracy=use_accuracy,
+        priority_range=priority_range,
+    )
+
+
+class ScenarioSession:
+    """Composes sim/storage/runtime/noise/controller/driver from a config.
+
+    ``config`` is a :class:`repro.experiments.config.ScenarioConfig` (or
+    anything duck-typed like one).  ``storage_factory(sim) ->
+    TieredStorage`` overrides the registered ``config.tiers`` preset
+    (capacity-pressure experiments build bespoke hierarchies);
+    ``placement`` is the default staging strategy for :meth:`stage`.
+    """
+
+    def __init__(
+        self,
+        config,
+        *,
+        storage_factory: Callable[[Simulation], TieredStorage] | None = None,
+        placement: str = "level",
+    ) -> None:
+        self.config = config
+        self.placement = placement
+        self.sim = Simulation()
+        if OBS.enabled:
+            OBS.tracer.bind_clock(self.sim)
+        if storage_factory is not None:
+            self.storage = storage_factory(self.sim)
+        else:
+            self.storage = STORAGE_PRESETS.create(config.tiers, self.sim)
+        self.runtime = ContainerRuntime(self.sim)
+        self.drivers: dict[str, AnalyticsDriver] = {}
+        self.containers: dict[str, Container] = {}
+        self._procs: list = []
+        self._teardowns: list[Callable[[], None]] = []
+        self._abplot: AugmentationBandwidthPlot | None = None
+        self.finished = False
+
+    # -- shared components ----------------------------------------------
+
+    @property
+    def abplot(self) -> AugmentationBandwidthPlot:
+        """The node's augmentation-bandwidth plot (shared across tenants)."""
+        if self._abplot is None:
+            self._abplot = AugmentationBandwidthPlot(self.config.bw_low, self.config.bw_high)
+        return self._abplot
+
+    def build_ladder(self, *, app: str | None = None, seed: int | None = None):
+        """Memoized field + ladder for ``app`` (default: the config's).
+
+        Returns ``(app, field, AccuracyLadder)``; the field/ladder pair
+        comes from :func:`repro.engine.memo.ladder_for_app`.
+        """
+        cfg = self.config
+        app_obj = APPS.create(cfg.app if app is None else app)
+        data, ladder = memo.ladder_for_app(
+            app_obj,
+            grid_shape=cfg.grid_shape,
+            decimation_ratio=cfg.decimation_ratio,
+            metric=cfg.metric,
+            bounds=cfg.ladder_bounds,
+            seed=cfg.seed if seed is None else seed,
+        )
+        return app_obj, data, ladder
+
+    # -- workload composition --------------------------------------------
+
+    def launch_noise(
+        self,
+        noise: Sequence[NoiseSpec] | None = None,
+        *,
+        seed: int | None = None,
+    ) -> list[Container]:
+        """Start the interfering containers on the capacity tier."""
+        cfg = self.config
+        return launch_noise(
+            self.runtime,
+            self.storage.slowest,
+            cfg.noise if noise is None else noise,
+            seed=cfg.seed + 1 if seed is None else seed,
+            phase_jitter=cfg.noise_phase_jitter,
+            period_jitter=cfg.noise_period_jitter,
+        )
+
+    def launch_churn(self, spec: ChurnSpec | None = None, *, seed: int | None = None):
+        """Start a churning population of checkpointing jobs."""
+        return launch_churn(
+            self.runtime,
+            self.storage.slowest,
+            spec,
+            seed=self.config.seed + 2 if seed is None else seed,
+        )
+
+    def degrade_capacity_tier(self, at_time: float, speed_factor: float) -> None:
+        """Schedule a mid-run capacity-tier slowdown (an aging disk)."""
+        self.sim.schedule_at(
+            at_time, self.storage.slowest.device.set_speed_factor, speed_factor
+        )
+
+    def stage(
+        self,
+        name: str,
+        ladder: AccuracyLadder,
+        *,
+        placement: str | None = None,
+        size_scale: float | None = None,
+        materialize: bool = False,
+    ) -> StagedDataset:
+        """Stage one ladder onto the session's hierarchy."""
+        cfg = self.config
+        return stage_dataset(
+            name,
+            ladder,
+            self.storage,
+            size_scale=cfg.size_scale if size_scale is None else size_scale,
+            placement=self.placement if placement is None else placement,
+            materialize=materialize,
+        )
+
+    def stage_series(
+        self,
+        name: str,
+        ladders: list[AccuracyLadder],
+        *,
+        placement: str | None = None,
+        size_scale: float | None = None,
+    ) -> TimeSeriesDataset:
+        """Stage a per-timestep ladder sequence (campaign-style)."""
+        cfg = self.config
+        return stage_timeseries(
+            name,
+            ladders,
+            self.storage,
+            size_scale=cfg.size_scale if size_scale is None else size_scale,
+            placement=self.placement if placement is None else placement,
+        )
+
+    # -- control plane ---------------------------------------------------
+
+    def build_controller(
+        self,
+        ladder: AccuracyLadder,
+        *,
+        policy: str | None = None,
+        priority: float | None = None,
+        prescribed_bound=AUTO,
+        weight_fn=AUTO,
+        weight_use_priority: bool | None = None,
+        weight_use_accuracy: bool | None = None,
+        weight_cardinality: str | None = None,
+        estimator=AUTO,
+        estimation_interval: int | None = None,
+    ) -> TangoController:
+        """Build one tenant's adaptation loop from config + overrides.
+
+        ``AUTO`` fields derive from the config: the prescribed bound
+        honours ``error_control`` (no error control mandates nothing
+        beyond the base error, Fig. 8's configuration), the weight
+        function comes from the policy class's own
+        ``build_weight_function``, and the estimator is created fresh
+        from the :data:`~repro.engine.registry.ESTIMATORS` registry.
+        """
+        cfg = self.config
+        policy_cls = POLICIES.get(cfg.policy if policy is None else policy)
+        if weight_fn is AUTO:
+            weight_fn = policy_cls.build_weight_function(
+                ladder,
+                use_priority=(
+                    cfg.weight_use_priority
+                    if weight_use_priority is None
+                    else weight_use_priority
+                ),
+                use_accuracy=(
+                    cfg.weight_use_accuracy
+                    if weight_use_accuracy is None
+                    else weight_use_accuracy
+                ),
+            )
+        policy_obj = policy_cls(
+            weight_fn,
+            weight_cardinality=(
+                cfg.weight_cardinality if weight_cardinality is None else weight_cardinality
+            ),
+        )
+        if prescribed_bound is AUTO:
+            prescribed_bound = (
+                cfg.prescribed_bound if cfg.error_control else ladder.base_error
+            )
+        if estimator is AUTO:
+            estimator = ESTIMATORS.create(cfg.estimator, cfg)
+        return TangoController(
+            ladder,
+            policy_obj,
+            self.abplot,
+            prescribed_bound=prescribed_bound,
+            priority=cfg.priority if priority is None else priority,
+            estimator=estimator,
+            estimation_interval=(
+                cfg.estimation_interval if estimation_interval is None else estimation_interval
+            ),
+        )
+
+    def add_analytics(
+        self,
+        name: str,
+        dataset: StagedDataset | TimeSeriesDataset,
+        controller: TangoController,
+        *,
+        period: float | None = None,
+        max_steps: int | None = None,
+        on_step=None,
+    ) -> AnalyticsDriver:
+        """Create an analytics container and start its adaptive driver."""
+        if name in self.drivers:
+            raise ValueError(f"analytics container {name!r} already exists")
+        cfg = self.config
+        container = self.runtime.create(name)
+        driver = AnalyticsDriver(
+            container,
+            dataset,
+            controller,
+            period=cfg.period if period is None else period,
+            max_steps=cfg.max_steps if max_steps is None else max_steps,
+            on_step=on_step,
+        )
+        proc = self.sim.process(driver.workload())
+        container.attach(proc)
+        self.drivers[name] = driver
+        self.containers[name] = container
+        self._procs.append(proc)
+        return driver
+
+    # -- run loop + teardown ----------------------------------------------
+
+    def on_teardown(self, fn: Callable[[], None]) -> None:
+        """Register a hook to run after the loop, before containers stop."""
+        self._teardowns.append(fn)
+
+    def default_horizon(self) -> float:
+        """The legacy single-node wall: every step plus a grace period."""
+        return self.config.max_steps * self.config.period + 600.0
+
+    def run(self, *, horizon: float | None = None, chunk: float | None | _Auto = AUTO) -> float:
+        """Advance the simulation, then tear the node down.
+
+        ``chunk`` is the run-loop granularity: the default (one analytics
+        period) re-checks liveness every period and stops as soon as all
+        analytics processes finish; ``chunk=None`` runs straight to the
+        horizon in one call (multi-tenant semantics: the node stays up for
+        the full window).  Returns the final simulated time.
+        """
+        if self.finished:
+            raise RuntimeError("session already ran; build a new one")
+        if horizon is None:
+            horizon = self.default_horizon()
+        if chunk is AUTO:
+            chunk = self.config.period
+        if chunk is None:
+            self.sim.run(until=horizon)
+        else:
+            while any(p.is_alive for p in self._procs) and self.sim.now < horizon:
+                self.sim.run(until=min(self.sim.now + chunk, horizon))
+        for fn in self._teardowns:
+            fn()
+        self.runtime.stop_all()
+        self.finished = True
+        return self.sim.now

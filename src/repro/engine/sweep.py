@@ -1,0 +1,137 @@
+"""``SweepExecutor``: process-pool fan-out over scenario config grids.
+
+Every sweep in the repository except Fig. 16 used to run serially; this
+generalizes Fig. 16's ad-hoc ``mp.Pool`` into one executor the figure
+grids, replication statistics, and any future sweep share:
+
+* ``map(fn, items)`` — order-preserving parallel map with a serial
+  fallback (``workers <= 1`` or a single item), so parallel output is
+  element-for-element identical to serial output;
+* ``run_scenarios(configs)`` — one :func:`run_scenario` per config in a
+  worker process, reduced to a picklable :class:`ScenarioSummary` (a
+  full ``ScenarioResult`` holds the simulation object graph and cannot
+  cross a process boundary).
+
+Workers are separate OS processes (``spawn`` context, mirroring the
+paper's per-node isolation), so runs share no state and determinism is
+free: the same config and seed produce the same summary wherever they
+execute.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import os
+from dataclasses import dataclass
+from typing import Callable, Iterable, Sequence, TypeVar
+
+__all__ = ["ScenarioSummary", "SweepExecutor", "summarize_result", "resolve_workers"]
+
+_T = TypeVar("_T")
+_R = TypeVar("_R")
+
+
+def resolve_workers(workers: int | str | None) -> int:
+    """Normalize a worker count: ``None``/1 → serial, ``"auto"`` → CPUs."""
+    if workers is None:
+        return 1
+    if workers == "auto":
+        try:
+            return max(1, len(os.sched_getaffinity(0)))
+        except AttributeError:  # pragma: no cover - non-Linux
+            return max(1, os.cpu_count() or 1)
+    n = int(workers)
+    if n < 1:
+        raise ValueError(f"workers must be >= 1 or 'auto', got {workers!r}")
+    return n
+
+
+@dataclass(frozen=True)
+class ScenarioSummary:
+    """The picklable part of a :class:`ScenarioResult` that sweeps report.
+
+    Field values match the result's properties exactly (same reductions
+    over the same records), so aggregating summaries reproduces what the
+    serial figure code computed from full results bit for bit.
+    ``mean_outcome_error`` is ``None`` unless the sweep asked for it —
+    outcome errors reconstruct the field per rung, which most sweeps
+    don't need.
+    """
+
+    config: object
+    num_records: int
+    mean_io_time: float
+    std_io_time: float
+    mean_target_rung: float
+    final_time: float
+    mean_outcome_error: float | None = None
+
+
+def summarize_result(result, *, outcome_error: bool = False) -> ScenarioSummary:
+    """Reduce a ``ScenarioResult`` to its sweep-reportable summary."""
+    return ScenarioSummary(
+        config=result.config,
+        num_records=len(result.records),
+        mean_io_time=result.mean_io_time,
+        std_io_time=result.std_io_time,
+        mean_target_rung=result.mean_target_rung,
+        final_time=result.final_time,
+        mean_outcome_error=result.mean_outcome_error if outcome_error else None,
+    )
+
+
+def _run_scenario_job(job) -> ScenarioSummary:
+    """Worker entry point; module-level so it pickles for the pool."""
+    config, placement, outcome_error = job
+    from repro.experiments.runner import run_scenario
+
+    result = run_scenario(config, placement=placement)
+    return summarize_result(result, outcome_error=outcome_error)
+
+
+class SweepExecutor:
+    """Order-preserving map over sweep jobs, optionally in a process pool.
+
+    ``workers`` is the pool size: 1 (the default) runs serially
+    in-process, ``"auto"`` uses every available CPU.  Results always come
+    back in input order regardless of completion order, and the serial
+    path runs the exact same job function — a parallel sweep is
+    element-for-element identical to its serial fallback.
+    """
+
+    def __init__(
+        self,
+        workers: int | str | None = 1,
+        *,
+        mp_context: str = "spawn",
+        chunksize: int | None = None,
+    ) -> None:
+        self.workers = resolve_workers(workers)
+        self.mp_context = mp_context
+        self.chunksize = chunksize
+
+    @property
+    def is_parallel(self) -> bool:
+        return self.workers > 1
+
+    def map(self, fn: Callable[[_T], _R], items: Iterable[_T]) -> list[_R]:
+        """Apply ``fn`` to every item, preserving input order."""
+        jobs = list(items)
+        if self.workers <= 1 or len(jobs) <= 1:
+            return [fn(job) for job in jobs]
+        procs = min(self.workers, len(jobs))
+        chunksize = self.chunksize or max(1, len(jobs) // (procs * 2))
+        with mp.get_context(self.mp_context).Pool(processes=procs) as pool:
+            return pool.map(fn, jobs, chunksize=chunksize)
+
+    def run_scenarios(
+        self,
+        configs: Sequence,
+        *,
+        placement: str = "level",
+        outcome_error: bool = False,
+    ) -> list[ScenarioSummary]:
+        """Run one scenario per config; summaries come back in config order."""
+        return self.map(
+            _run_scenario_job, [(cfg, placement, outcome_error) for cfg in configs]
+        )

@@ -15,19 +15,13 @@ import numpy as np
 
 from repro.apps import make_app
 from repro.apps.synthetic import field_time_series
-from repro.containers import ContainerRuntime
-from repro.core.abplot import AugmentationBandwidthPlot
-from repro.core.controller import TangoController, make_policy
 from repro.core.error_control import ErrorMetric, build_ladder
 from repro.core.refactor import decompose, levels_for_decimation
-from repro.experiments.config import DEFAULTS
+from repro.engine.session import ScenarioSession, make_weight_function
+from repro.experiments.config import DEFAULTS, ScenarioConfig
 from repro.experiments.report import format_table, sparkline
-from repro.experiments.runner import make_weight_function
-from repro.simkernel import Simulation
-from repro.storage.staging import stage_timeseries
-from repro.storage.tier import TieredStorage
-from repro.workloads.analytics import AnalyticsDriver, StepRecord
-from repro.workloads.churn import ChurnSpec, launch_churn
+from repro.workloads.analytics import StepRecord
+from repro.workloads.churn import ChurnSpec
 
 __all__ = ["CampaignConfig", "CampaignResult", "run_campaign"]
 
@@ -70,16 +64,26 @@ class CampaignResult:
     estimation_diagnostics: dict[str, float]
     final_time: float
 
+    def _require_records(self, what: str) -> None:
+        if not self.records:
+            raise ValueError(
+                f"campaign produced no step records; {what} is undefined "
+                "(the analytics never completed a step — check steps and "
+                "the run horizon)"
+            )
+
     @property
     def io_times(self) -> np.ndarray:
         return np.asarray([r.io_time for r in self.records])
 
     @property
     def mean_io_time(self) -> float:
+        self._require_records("mean_io_time")
         return float(self.io_times.mean())
 
     def half_means(self) -> tuple[float, float]:
         """Mean I/O time of the first and second campaign halves."""
+        self._require_records("half_means")
         half = len(self.records) // 2
         return (
             float(self.io_times[:half].mean()),
@@ -118,6 +122,22 @@ class CampaignResult:
         )
 
 
+def _scenario_config(cfg: CampaignConfig) -> ScenarioConfig:
+    """The campaign's knobs expressed as the session's scenario config."""
+    return ScenarioConfig(
+        app=cfg.app,
+        policy=cfg.policy,
+        period=cfg.period,
+        max_steps=cfg.steps,
+        decimation_ratio=cfg.decimation_ratio,
+        ladder_bounds=cfg.ladder_bounds,
+        prescribed_bound=cfg.prescribed_bound,
+        priority=cfg.priority,
+        estimation_interval=cfg.estimation_interval,
+        seed=cfg.seed,
+    )
+
+
 def run_campaign(config: CampaignConfig | None = None) -> CampaignResult:
     """Run a campaign (deterministic per seed)."""
     cfg = config if config is not None else CampaignConfig()
@@ -130,46 +150,32 @@ def run_campaign(config: CampaignConfig | None = None) -> CampaignResult:
         for f in fields
     ]
 
-    sim = Simulation()
-    storage = TieredStorage.two_tier_testbed(sim)
-    runtime = ContainerRuntime(sim)
-    launch_churn(runtime, storage.slowest, cfg.churn, seed=cfg.seed + 2)
+    session = ScenarioSession(_scenario_config(cfg))
+    session.launch_churn(cfg.churn)
     if cfg.degrade_to is not None:
-        midpoint = cfg.steps * cfg.period / 2.0
-        sim.schedule(midpoint, storage.slowest.device.set_speed_factor, cfg.degrade_to)
+        session.degrade_capacity_tier(cfg.steps * cfg.period / 2.0, cfg.degrade_to)
 
-    series = stage_timeseries(
-        f"{cfg.app}-campaign", ladders, storage, size_scale=DEFAULTS.size_scale
-    )
+    series = session.stage_series(f"{cfg.app}-campaign", ladders)
     reference = series.ladder
+    # Campaign quirk, kept: storage-only gets the *full* weight function
+    # here (not the cardinality-only calibration single-node runs use).
     weight_fn = (
         make_weight_function(reference)
         if cfg.policy in ("cross-layer", "storage-only")
         else None
     )
-    controller = TangoController(
+    controller = session.build_controller(
         reference,
-        make_policy(cfg.policy, weight_fn),
-        AugmentationBandwidthPlot(DEFAULTS.bw_low, DEFAULTS.bw_high),
+        weight_fn=weight_fn,
         prescribed_bound=cfg.prescribed_bound,
-        priority=cfg.priority,
-        estimation_interval=cfg.estimation_interval,
+        weight_cardinality="bucket",
     )
-    container = runtime.create("campaign-analytics")
-    driver = AnalyticsDriver(
-        container, series, controller, period=cfg.period, max_steps=cfg.steps
-    )
-    proc = sim.process(driver.workload())
-    container.attach(proc)
-
-    horizon = cfg.steps * cfg.period * 3.0
-    while proc.is_alive and sim.now < horizon:
-        sim.run(until=min(sim.now + cfg.period, horizon))
-    runtime.stop_all()
+    driver = session.add_analytics("campaign-analytics", series, controller)
+    final_time = session.run(horizon=cfg.steps * cfg.period * 3.0)
 
     return CampaignResult(
         config=cfg,
         records=list(driver.records),
         estimation_diagnostics=controller.estimation_diagnostics(),
-        final_time=sim.now,
+        final_time=final_time,
     )

@@ -13,7 +13,7 @@ Paper defaults reproduced here:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 from types import SimpleNamespace
 
 from repro.core.error_control import ErrorMetric
@@ -87,21 +87,38 @@ class ScenarioConfig:
         return replace(self, **changes)
 
     def __post_init__(self) -> None:
-        if self.policy not in ("no-adaptivity", "storage-only", "app-only", "cross-layer"):
-            raise ValueError(f"unknown policy {self.policy!r}")
+        # Component names are validated against the engine registries, so
+        # a config can name anything registered — built-in or plugged in.
+        # Imported lazily: the registry package imports component modules
+        # that themselves import this config module.
+        from repro.engine.registry import ESTIMATORS, POLICIES, STORAGE_PRESETS
+
+        if self.policy not in POLICIES:
+            raise ValueError(
+                f"unknown policy {self.policy!r}; expected one of {POLICIES.names()}"
+            )
         if self.max_steps < 1:
             raise ValueError(f"max_steps must be >= 1, got {self.max_steps}")
+        if self.period <= 0:
+            raise ValueError(f"period must be > 0, got {self.period}")
+        if not self.bw_low < self.bw_high:
+            raise ValueError(
+                f"bw_low must be < bw_high, got bw_low={self.bw_low} "
+                f"bw_high={self.bw_high}"
+            )
         if not self.ladder_bounds:
             raise ValueError("ladder_bounds must be non-empty")
         if self.prescribed_bound is None and self.error_control:
             raise ValueError("error_control=True requires a prescribed_bound")
-        if self.estimator not in ("dft", "mean", "last"):
+        if self.estimator not in ESTIMATORS:
             raise ValueError(
-                f"estimator must be 'dft', 'mean', or 'last', got {self.estimator!r}"
+                f"unknown estimator {self.estimator!r}; "
+                f"expected one of {ESTIMATORS.names()}"
             )
-        if self.tiers not in ("two-tier", "three-tier"):
+        if self.tiers not in STORAGE_PRESETS:
             raise ValueError(
-                f"tiers must be 'two-tier' or 'three-tier', got {self.tiers!r}"
+                f"unknown storage preset {self.tiers!r}; "
+                f"expected one of {STORAGE_PRESETS.names()}"
             )
         if self.weight_cardinality not in ("bucket", "total"):
             raise ValueError(

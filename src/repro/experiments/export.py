@@ -52,7 +52,9 @@ def export_result(result: Any, path: str) -> dict:
     return data
 
 
-def export_figure(name: str, path: str, *, fast: bool = True) -> dict:
+def export_figure(
+    name: str, path: str, *, fast: bool = True, workers: int | str | None = 1
+) -> dict:
     """Run a registered artifact (see :data:`repro.cli.FIGURES`) and export it."""
     from repro.cli import FIGURES
 
@@ -60,4 +62,4 @@ def export_figure(name: str, path: str, *, fast: bool = True) -> dict:
         runner = FIGURES[name]
     except KeyError:
         raise ValueError(f"unknown figure {name!r}; expected one of {sorted(FIGURES)}")
-    return export_result(runner(fast), path)
+    return export_result(runner(fast, workers=workers), path)

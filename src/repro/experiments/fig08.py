@@ -15,9 +15,9 @@ import numpy as np
 
 from repro.apps import ALL_APPS
 from repro.core.controller import POLICY_NAMES
+from repro.engine.sweep import SweepExecutor
 from repro.experiments.config import ScenarioConfig
 from repro.experiments.report import format_table
-from repro.experiments.runner import run_scenario
 
 __all__ = ["PolicyAppResult", "Fig8Result", "run_fig08", "run_policy_grid"]
 
@@ -76,39 +76,43 @@ def run_policy_grid(
     base_config: ScenarioConfig | None = None,
     replications: int = 3,
     max_steps: int = 60,
+    workers: int | str | None = 1,
 ) -> Fig8Result:
-    """Run the (app × policy) grid with seeded replications."""
+    """Run the (app × policy) grid with seeded replications.
+
+    ``workers`` fans the grid out over a process pool (``"auto"`` = all
+    CPUs); results are identical to the serial default.
+    """
     if replications < 1:
         raise ValueError(f"replications must be >= 1, got {replications}")
     base = base_config if base_config is not None else ScenarioConfig()
+    cells = [(app, policy) for app in apps for policy in policies]
+    configs = [
+        base.with_(
+            app=app,
+            policy=policy,
+            error_control=error_control,
+            max_steps=max_steps,
+            seed=base.seed + rep,
+        )
+        for app, policy in cells
+        for rep in range(replications)
+    ]
+    summaries = SweepExecutor(workers).run_scenarios(configs, outcome_error=True)
     rows: list[PolicyAppResult] = []
-    for app in apps:
-        for policy in policies:
-            means, stds, errs, rungs = [], [], [], []
-            for rep in range(replications):
-                cfg = base.with_(
-                    app=app,
-                    policy=policy,
-                    error_control=error_control,
-                    max_steps=max_steps,
-                    seed=base.seed + rep,
-                )
-                res = run_scenario(cfg)
-                means.append(res.mean_io_time)
-                stds.append(res.std_io_time)
-                errs.append(res.mean_outcome_error)
-                rungs.append(res.mean_target_rung)
-            rows.append(
-                PolicyAppResult(
-                    app=app,
-                    policy=policy,
-                    mean_io_time=float(np.mean(means)),
-                    std_io_time=float(np.mean(stds)),
-                    mean_outcome_error=float(np.mean(errs)),
-                    mean_target_rung=float(np.mean(rungs)),
-                    replications=replications,
-                )
+    for i, (app, policy) in enumerate(cells):
+        chunk = summaries[i * replications : (i + 1) * replications]
+        rows.append(
+            PolicyAppResult(
+                app=app,
+                policy=policy,
+                mean_io_time=float(np.mean([s.mean_io_time for s in chunk])),
+                std_io_time=float(np.mean([s.std_io_time for s in chunk])),
+                mean_outcome_error=float(np.mean([s.mean_outcome_error for s in chunk])),
+                mean_target_rung=float(np.mean([s.mean_target_rung for s in chunk])),
+                replications=replications,
             )
+        )
     return Fig8Result(rows=tuple(rows), error_control=error_control)
 
 
@@ -118,6 +122,7 @@ def run_fig08(
     replications: int = 3,
     max_steps: int = 60,
     seed: int = 0,
+    workers: int | str | None = 1,
 ) -> Fig8Result:
     """The Fig. 8 grid: all policies × all apps, no error control."""
     base = ScenarioConfig(seed=seed)
@@ -127,4 +132,5 @@ def run_fig08(
         base_config=base,
         replications=replications,
         max_steps=max_steps,
+        workers=workers,
     )

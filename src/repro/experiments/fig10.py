@@ -17,6 +17,7 @@ import numpy as np
 
 from repro.apps import ALL_APPS, make_app
 from repro.core.refactor import decompose, levels_for_decimation, reconstruct_base_only
+from repro.engine.sweep import SweepExecutor
 from repro.experiments.config import ScenarioConfig
 from repro.experiments.report import format_table
 from repro.experiments.runner import run_scenario
@@ -132,14 +133,35 @@ def run_fig10_genasis_quality(
     return GenasisQualityResult(rows=tuple(rows))
 
 
+POLICIES = ("app-only", "cross-layer")
+
+
 def run_fig10(
     *,
     apps: tuple[str, ...] = ALL_APPS,
     replications: int = 2,
     max_steps: int = 60,
     seed: int = 0,
+    workers: int | str | None = 1,
 ) -> Fig10Result:
     """Quality comparison: cross-layer vs app-only vs no augmentation."""
+    cells = [(app_name, policy) for app_name in apps for policy in POLICIES]
+    configs = [
+        ScenarioConfig(
+            app=app_name,
+            policy=policy,
+            decimation_ratio=DECIMATION,
+            ladder_bounds=LADDER_BOUNDS,
+            prescribed_bound=LOOSE_BOUND,
+            priority=10.0,
+            max_steps=max_steps,
+            seed=seed + rep,
+        )
+        for app_name, policy in cells
+        for rep in range(replications)
+    ]
+    summaries = SweepExecutor(workers).run_scenarios(configs, outcome_error=True)
+
     rows: list[Fig10Row] = []
     for app_name in apps:
         # No augmentation: reconstruct from the base representation only.
@@ -156,28 +178,15 @@ def run_fig10(
                 mean_io_time=0.0,
             )
         )
-        for policy in ("app-only", "cross-layer"):
-            errs, ios = [], []
-            for rep in range(replications):
-                cfg = ScenarioConfig(
-                    app=app_name,
-                    policy=policy,
-                    decimation_ratio=DECIMATION,
-                    ladder_bounds=LADDER_BOUNDS,
-                    prescribed_bound=LOOSE_BOUND,
-                    priority=10.0,
-                    max_steps=max_steps,
-                    seed=seed + rep,
-                )
-                res = run_scenario(cfg)
-                errs.append(res.mean_outcome_error)
-                ios.append(res.mean_io_time)
+        for policy in POLICIES:
+            i = cells.index((app_name, policy))
+            chunk = summaries[i * replications : (i + 1) * replications]
             rows.append(
                 Fig10Row(
                     app=app_name,
                     scheme=policy,
-                    outcome_error=float(np.mean(errs)),
-                    mean_io_time=float(np.mean(ios)),
+                    outcome_error=float(np.mean([s.mean_outcome_error for s in chunk])),
+                    mean_io_time=float(np.mean([s.mean_io_time for s in chunk])),
                 )
             )
     return Fig10Result(rows=tuple(rows))

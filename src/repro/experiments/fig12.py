@@ -13,9 +13,9 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.engine.sweep import SweepExecutor
 from repro.experiments.config import ScenarioConfig
 from repro.experiments.report import format_table
-from repro.experiments.runner import run_scenario
 from repro.workloads.noise import TABLE_IV_NOISE
 
 __all__ = ["Fig12Result", "run_fig12"]
@@ -64,32 +64,35 @@ def run_fig12(
     replications: int = 3,
     max_steps: int = 60,
     seed: int = 0,
+    workers: int | str | None = 1,
 ) -> Fig12Result:
     """The noise-intensity sweep."""
+    for count in noise_counts:
+        if not 1 <= count <= len(TABLE_IV_NOISE):
+            raise ValueError(f"noise count must be in [1, {len(TABLE_IV_NOISE)}]")
+    cells = [(policy, count) for policy in policies for count in noise_counts]
+    configs = [
+        ScenarioConfig(
+            policy=policy,
+            noise=TABLE_IV_NOISE[:count],
+            prescribed_bound=0.01,
+            priority=10.0,
+            max_steps=max_steps,
+            seed=seed + rep,
+        )
+        for policy, count in cells
+        for rep in range(replications)
+    ]
+    summaries = SweepExecutor(workers).run_scenarios(configs)
     rows: list[Fig12Row] = []
-    for policy in policies:
-        for count in noise_counts:
-            if not 1 <= count <= len(TABLE_IV_NOISE):
-                raise ValueError(f"noise count must be in [1, {len(TABLE_IV_NOISE)}]")
-            means, stds = [], []
-            for rep in range(replications):
-                cfg = ScenarioConfig(
-                    policy=policy,
-                    noise=TABLE_IV_NOISE[:count],
-                    prescribed_bound=0.01,
-                    priority=10.0,
-                    max_steps=max_steps,
-                    seed=seed + rep,
-                )
-                res = run_scenario(cfg)
-                means.append(res.mean_io_time)
-                stds.append(res.std_io_time)
-            rows.append(
-                Fig12Row(
-                    policy=policy,
-                    noise_count=count,
-                    mean_io_time=float(np.mean(means)),
-                    std_io_time=float(np.mean(stds)),
-                )
+    for i, (policy, count) in enumerate(cells):
+        chunk = summaries[i * replications : (i + 1) * replications]
+        rows.append(
+            Fig12Row(
+                policy=policy,
+                noise_count=count,
+                mean_io_time=float(np.mean([s.mean_io_time for s in chunk])),
+                std_io_time=float(np.mean([s.std_io_time for s in chunk])),
             )
+        )
     return Fig12Result(rows=tuple(rows))

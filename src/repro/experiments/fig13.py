@@ -15,9 +15,9 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.engine.sweep import SweepExecutor
 from repro.experiments.config import ScenarioConfig
 from repro.experiments.report import format_table
-from repro.experiments.runner import run_scenario
 
 __all__ = ["Fig13Result", "run_fig13", "VARIANTS"]
 
@@ -61,38 +61,40 @@ def run_fig13(
     replications: int = 3,
     max_steps: int = 60,
     seed: int = 0,
+    workers: int | str | None = 1,
 ) -> Fig13Result:
     """Run each weight-function variant.
 
     The ladder's tightest bound is the Fig. 13 target (0.01), so every
     step's I/O time *is* the latency to elevate the accuracy to 0.01.
     """
+    configs = [
+        ScenarioConfig(
+            app=app,
+            policy=policy,
+            # Deep decimation keeps the base accuracy below the 0.01
+            # target, so elevating to eps_1 genuinely requires I/O.
+            decimation_ratio=256,
+            ladder_bounds=(0.1, 0.01),
+            prescribed_bound=0.01,
+            priority=10.0,
+            max_steps=max_steps,
+            weight_use_priority=use_priority,
+            weight_use_accuracy=use_accuracy,
+            seed=seed + rep,
+        )
+        for _, policy, use_priority, use_accuracy in VARIANTS
+        for rep in range(replications)
+    ]
+    summaries = SweepExecutor(workers).run_scenarios(configs)
     rows: list[Fig13Row] = []
-    for label, policy, use_priority, use_accuracy in VARIANTS:
-        means, stds = [], []
-        for rep in range(replications):
-            cfg = ScenarioConfig(
-                app=app,
-                policy=policy,
-                # Deep decimation keeps the base accuracy below the 0.01
-                # target, so elevating to eps_1 genuinely requires I/O.
-                decimation_ratio=256,
-                ladder_bounds=(0.1, 0.01),
-                prescribed_bound=0.01,
-                priority=10.0,
-                max_steps=max_steps,
-                weight_use_priority=use_priority,
-                weight_use_accuracy=use_accuracy,
-                seed=seed + rep,
-            )
-            res = run_scenario(cfg)
-            means.append(res.mean_io_time)
-            stds.append(res.std_io_time)
+    for i, (label, _, _, _) in enumerate(VARIANTS):
+        chunk = summaries[i * replications : (i + 1) * replications]
         rows.append(
             Fig13Row(
                 variant=label,
-                mean_io_time=float(np.mean(means)),
-                std_io_time=float(np.mean(stds)),
+                mean_io_time=float(np.mean([s.mean_io_time for s in chunk])),
+                std_io_time=float(np.mean([s.std_io_time for s in chunk])),
             )
         )
     return Fig13Result(rows=tuple(rows))

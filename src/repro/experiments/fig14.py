@@ -13,9 +13,9 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.engine.sweep import SweepExecutor
 from repro.experiments.config import ScenarioConfig
 from repro.experiments.report import format_table
-from repro.experiments.runner import run_scenario
 
 __all__ = ["Fig14Result", "run_fig14", "PRIORITIES", "ERROR_BOUNDS"]
 
@@ -57,33 +57,38 @@ def run_fig14(
     replications: int = 3,
     max_steps: int = 60,
     seed: int = 0,
+    workers: int | str | None = 1,
 ) -> Fig14Result:
     """Both sweeps of Fig. 14 under the cross-layer policy."""
+    cells = [("priority", p, 0.01, p) for p in PRIORITIES]
+    cells += [("bound", bound, bound, 10.0) for bound in ERROR_BOUNDS]
+    # cells: (sweep label, swept value, prescribed bound, priority).
+    configs = [
+        ScenarioConfig(
+            app=app,
+            policy="cross-layer",
+            # Deep decimation so every bound in the sweep demands a
+            # different amount of augmentation I/O.
+            decimation_ratio=256,
+            ladder_bounds=LADDER,
+            prescribed_bound=bound,
+            priority=priority,
+            max_steps=max_steps,
+            seed=seed + rep,
+        )
+        for _, _, bound, priority in cells
+        for rep in range(replications)
+    ]
+    summaries = SweepExecutor(workers).run_scenarios(configs)
     rows: list[Fig14Row] = []
-
-    def measure(cfg_kwargs: dict) -> tuple[float, float]:
-        means, stds = [], []
-        for rep in range(replications):
-            cfg = ScenarioConfig(
-                app=app,
-                policy="cross-layer",
-                # Deep decimation so every bound in the sweep demands a
-                # different amount of augmentation I/O.
-                decimation_ratio=256,
-                ladder_bounds=LADDER,
-                max_steps=max_steps,
-                seed=seed + rep,
-                **cfg_kwargs,
+    for i, (sweep, value, _, _) in enumerate(cells):
+        chunk = summaries[i * replications : (i + 1) * replications]
+        rows.append(
+            Fig14Row(
+                sweep=sweep,
+                value=value,
+                mean_io_time=float(np.mean([s.mean_io_time for s in chunk])),
+                std_io_time=float(np.mean([s.std_io_time for s in chunk])),
             )
-            res = run_scenario(cfg)
-            means.append(res.mean_io_time)
-            stds.append(res.std_io_time)
-        return float(np.mean(means)), float(np.mean(stds))
-
-    for p in PRIORITIES:
-        mean, std = measure({"prescribed_bound": 0.01, "priority": p})
-        rows.append(Fig14Row(sweep="priority", value=p, mean_io_time=mean, std_io_time=std))
-    for bound in ERROR_BOUNDS:
-        mean, std = measure({"prescribed_bound": bound, "priority": 10.0})
-        rows.append(Fig14Row(sweep="bound", value=bound, mean_io_time=mean, std_io_time=std))
+        )
     return Fig14Result(rows=tuple(rows))

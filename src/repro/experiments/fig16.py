@@ -9,11 +9,11 @@ reports the mean I/O time across nodes — expected to stay flat.
 
 from __future__ import annotations
 
-import multiprocessing as mp
 from dataclasses import dataclass
 
 import numpy as np
 
+from repro.engine.sweep import SweepExecutor
 from repro.experiments.config import ScenarioConfig
 from repro.experiments.report import format_table
 
@@ -84,11 +84,11 @@ def run_fig16(
     rows: list[Fig16Row] = []
     for n in node_counts:
         jobs = [(i, seed, max_steps) for i in range(total)]
-        if parallel and n > 1:
-            with mp.get_context("spawn").Pool(processes=min(n, 4)) as pool:
-                results = pool.map(run_node, jobs, chunksize=max(1, total // n))
-        else:
-            results = [run_node(j) for j in jobs]
+        executor = SweepExecutor(
+            workers=min(n, 4) if parallel and n > 1 else 1,
+            chunksize=max(1, total // n),
+        )
+        results = executor.map(run_node, jobs)
         means = [m for m, _ in results]
         stds = [s for _, s in results]
         rows.append(

@@ -3,7 +3,7 @@
 The paper's target scenario is non-exclusive node usage — in general more
 than one data analytics shares the node with the checkpointing noise.
 This extension runs N analytics containers, each with its own dataset,
-controller, policy, priority, and error bound, over the shared two-tier
+controller, policy, priority, and error bound, over the shared tiered
 storage, and reports per-application results.  The priority term of the
 weight function is what differentiates their service (Fig. 14a at the
 multi-tenant level).
@@ -15,17 +15,9 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.apps import make_app
-from repro.containers import ContainerRuntime
-from repro.core.abplot import AugmentationBandwidthPlot
-from repro.core.controller import TangoController, make_policy
+from repro.engine.session import ScenarioSession
 from repro.experiments.config import ScenarioConfig
-from repro.experiments.runner import _make_estimator, build_ladder_for_app, make_weight_function
-from repro.simkernel import Simulation
-from repro.storage.staging import stage_dataset
-from repro.storage.tier import TieredStorage
-from repro.workloads.analytics import AnalyticsDriver, StepRecord
-from repro.workloads.noise import launch_noise
+from repro.workloads.analytics import StepRecord
 
 __all__ = ["TenantSpec", "TenantResult", "MultiScenarioResult", "run_multi_scenario"]
 
@@ -89,10 +81,10 @@ def run_multi_scenario(
 ) -> MultiScenarioResult:
     """Run several adaptive analytics against one interfered node.
 
-    Shared infrastructure (storage, noise) comes from ``base_config``;
-    per-tenant policy/priority/bound come from each :class:`TenantSpec`.
-    Every tenant stages its own dataset copy, so tenants are symmetric
-    except for their spec.
+    Shared infrastructure (storage per ``base_config.tiers``, noise)
+    comes from ``base_config``; per-tenant policy/priority/bound come
+    from each :class:`TenantSpec`.  Every tenant stages its own dataset
+    copy, so tenants are symmetric except for their spec.
     """
     if not tenants:
         raise ValueError("at least one tenant is required")
@@ -101,62 +93,31 @@ def run_multi_scenario(
         raise ValueError(f"tenant names must be unique, got {names}")
     cfg = base_config if base_config is not None else ScenarioConfig()
 
-    sim = Simulation()
-    storage = TieredStorage.two_tier_testbed(sim)
-    runtime = ContainerRuntime(sim)
-    launch_noise(
-        runtime,
-        storage.slowest,
-        cfg.noise,
-        seed=cfg.seed + 1,
-        phase_jitter=cfg.noise_phase_jitter,
-        period_jitter=cfg.noise_period_jitter,
-    )
-    abplot = AugmentationBandwidthPlot(cfg.bw_low, cfg.bw_high)
-
-    drivers: dict[str, AnalyticsDriver] = {}
+    session = ScenarioSession(cfg)
+    session.launch_noise()
     for spec in tenants:
-        app = make_app(spec.app)
-        _, ladder = build_ladder_for_app(
-            app,
-            grid_shape=cfg.grid_shape,
-            decimation_ratio=cfg.decimation_ratio,
-            metric=cfg.metric,
-            bounds=cfg.ladder_bounds,
-            seed=spec.seed,
-        )
-        dataset = stage_dataset(
-            f"{spec.name}-data", ladder, storage, size_scale=cfg.size_scale
-        )
-        if spec.policy == "storage-only":
-            weight_fn = make_weight_function(ladder, use_priority=False, use_accuracy=False)
-        elif spec.policy == "cross-layer":
-            weight_fn = make_weight_function(ladder)
-        else:
-            weight_fn = None
-        controller = TangoController(
+        _, _, ladder = session.build_ladder(app=spec.app, seed=spec.seed)
+        dataset = session.stage(f"{spec.name}-data", ladder)
+        controller = session.build_controller(
             ladder,
-            make_policy(spec.policy, weight_fn),
-            abplot,
-            prescribed_bound=spec.prescribed_bound,
+            policy=spec.policy,
             priority=spec.priority,
-            estimator=_make_estimator(cfg),
-            estimation_interval=cfg.estimation_interval,
+            prescribed_bound=spec.prescribed_bound,
+            # Tenants always get the fully-calibrated weight shape; the
+            # base config's ablation flags only apply to single-node runs.
+            weight_use_priority=True,
+            weight_use_accuracy=True,
+            weight_cardinality="bucket",
         )
-        container = runtime.create(spec.name)
-        driver = AnalyticsDriver(
-            container, dataset, controller, period=cfg.period, max_steps=cfg.max_steps
-        )
-        container.attach(sim.process(driver.workload()))
-        drivers[spec.name] = driver
+        session.add_analytics(spec.name, dataset, controller)
 
-    horizon = cfg.max_steps * cfg.period + 600.0
-    sim.run(until=horizon)
-    runtime.stop_all()
+    # Multi-tenant semantics: the node stays up for the whole window
+    # (tenants finish at different times), so run straight to the horizon.
+    final_time = session.run(chunk=None)
 
-    result = MultiScenarioResult(final_time=sim.now)
+    result = MultiScenarioResult(final_time=final_time)
     for spec in tenants:
         result.tenants[spec.name] = TenantResult(
-            spec=spec, records=list(drivers[spec.name].records)
+            spec=spec, records=list(session.drivers[spec.name].records)
         )
     return result

@@ -1,42 +1,33 @@
-"""Single-node scenario runner: wires every substrate together.
+"""Single-node scenario runner: one :class:`ScenarioSession` end to end.
 
-``run_scenario`` builds the two-tier testbed, decomposes and stages the
-app's dataset, launches the Table IV noise containers, runs the analytics
-under the configured adaptivity policy, and returns a
-:class:`ScenarioResult` with everything the figures report.
+``run_scenario`` composes the configured testbed through the engine —
+memoized decomposition + ladder, staged dataset, Table IV noise
+containers, the adaptivity controller — runs the analytics, and returns
+a :class:`ScenarioResult` with everything the figures report.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from functools import lru_cache
 
 import numpy as np
 
-from repro.apps import make_app
 from repro.apps.base import AnalyticsApp
-from repro.containers import ContainerRuntime
-from repro.core.abplot import AugmentationBandwidthPlot
-from repro.core.controller import TangoController, make_policy
-from repro.core.error_control import AccuracyLadder, ErrorMetric, build_ladder
-from repro.core.estimator import (
-    BandwidthEstimator,
-    DFTEstimator,
-    LastValueEstimator,
-    MeanEstimator,
-)
-from repro.core.refactor import decompose, levels_for_decimation
-from repro.core.weights import WeightFunction
+from repro.core.error_control import AccuracyLadder, ErrorMetric
+from repro.engine.memo import ladder_for_app
+from repro.engine.session import ScenarioSession, make_weight_function
 from repro.experiments.config import ScenarioConfig
 from repro.obs import OBS
-from repro.simkernel import Simulation
-from repro.storage.staging import StagedDataset, stage_dataset
+from repro.storage.staging import StagedDataset
 from repro.storage.stats import DeviceSample, DeviceSampler
-from repro.storage.tier import TieredStorage
-from repro.workloads.analytics import AnalyticsDriver, StepRecord
-from repro.workloads.noise import launch_noise
+from repro.workloads.analytics import StepRecord
 
-__all__ = ["ScenarioResult", "run_scenario", "build_ladder_for_app"]
+__all__ = [
+    "ScenarioResult",
+    "run_scenario",
+    "build_ladder_for_app",
+    "make_weight_function",
+]
 
 
 def build_ladder_for_app(
@@ -48,33 +39,19 @@ def build_ladder_for_app(
     bounds: tuple[float, ...],
     seed: int,
 ) -> tuple[np.ndarray, AccuracyLadder]:
-    """Generate the app's field, decompose it, and build its ladder."""
-    data = app.generate(grid_shape, seed=seed)
-    levels = levels_for_decimation(data.shape, decimation_ratio)
-    dec = decompose(data, levels)
-    ladder = build_ladder(dec, list(bounds), metric)
-    return data, ladder
+    """Generate the app's field, decompose it, and build its ladder.
 
-
-def make_weight_function(
-    ladder: AccuracyLadder,
-    *,
-    use_priority: bool = True,
-    use_accuracy: bool = True,
-    priority_range: tuple[float, float] = (1.0, 10.0),
-) -> WeightFunction:
-    """Calibrate the weight function from what this ladder can produce."""
-    cards = [b.cardinality for b in ladder.buckets]
-    card_max = max(cards) if cards else 1
-    card_min = min((c for c in cards if c > 0), default=1)
-    bounds = ladder.budget.bounds
-    return WeightFunction.calibrated(
-        ladder.metric,
-        cardinality_range=(card_min, max(card_max, card_min + 1)),
-        accuracy_range=(bounds[0], bounds[-1]),
-        priority_range=priority_range,
-        use_priority=use_priority,
-        use_accuracy=use_accuracy,
+    Memoized via :func:`repro.engine.memo.ladder_for_app`: sweeps that
+    revisit the same (app, shape, ratio, metric, bounds, seed) point skip
+    the decomposition entirely.
+    """
+    return ladder_for_app(
+        app,
+        grid_shape=grid_shape,
+        decimation_ratio=decimation_ratio,
+        metric=metric,
+        bounds=bounds,
+        seed=seed,
     )
 
 
@@ -95,6 +72,14 @@ class ScenarioResult:
     #: enabled (``None`` otherwise — the disabled path schedules nothing).
     device_samples: list[DeviceSample] | None = None
 
+    def _require_records(self, what: str) -> None:
+        if not self.records:
+            raise ValueError(
+                f"scenario produced no step records; {what} is undefined "
+                "(the analytics never completed a step — check max_steps "
+                "and the run horizon)"
+            )
+
     # -- I/O performance (Figs 8, 9, 12, 13, 14, 16) -----------------------
 
     @property
@@ -103,16 +88,19 @@ class ScenarioResult:
 
     @property
     def mean_io_time(self) -> float:
+        self._require_records("mean_io_time")
         return float(self.io_times.mean())
 
     @property
     def std_io_time(self) -> float:
+        self._require_records("std_io_time")
         return float(self.io_times.std())
 
     def io_time_percentile(self, q: float) -> float:
         """Tail latency: the q-th percentile of per-step I/O times."""
         if not 0 <= q <= 100:
             raise ValueError(f"percentile must be in [0, 100], got {q}")
+        self._require_records("io_time_percentile")
         return float(np.percentile(self.io_times, q))
 
     @property
@@ -139,11 +127,13 @@ class ScenarioResult:
     @property
     def mean_outcome_error(self) -> float:
         """Mean per-step analysis-outcome error, weighting steps equally."""
+        self._require_records("mean_outcome_error")
         errs = [self.outcome_error_at_rung(r.target_rung) for r in self.records]
         return float(np.mean(errs))
 
     @property
     def mean_target_rung(self) -> float:
+        self._require_records("mean_target_rung")
         return float(np.mean([r.target_rung for r in self.records]))
 
     # -- augmentation retrieval latency (Fig 13) ------------------------------
@@ -156,14 +146,6 @@ class ScenarioResult:
         return float(np.mean(times))
 
 
-def _make_estimator(config: ScenarioConfig) -> BandwidthEstimator:
-    if config.estimator == "dft":
-        return DFTEstimator(config.dft_thresh)
-    if config.estimator == "mean":
-        return MeanEstimator()
-    return LastValueEstimator()
-
-
 def run_scenario(
     config: ScenarioConfig,
     *,
@@ -172,77 +154,17 @@ def run_scenario(
 ) -> ScenarioResult:
     """Run one single-node scenario end to end (deterministic per seed).
 
-    ``storage_factory(sim) -> TieredStorage`` overrides the preset
-    hierarchy (used by capacity-pressure experiments); ``placement``
-    selects the staging strategy (see :func:`stage_dataset`).
+    ``storage_factory(sim) -> TieredStorage`` overrides the registered
+    ``config.tiers`` preset (used by capacity-pressure experiments);
+    ``placement`` names a registered staging strategy.
     """
-    app = make_app(config.app)
-    original, ladder = build_ladder_for_app(
-        app,
-        grid_shape=config.grid_shape,
-        decimation_ratio=config.decimation_ratio,
-        metric=config.metric,
-        bounds=config.ladder_bounds,
-        seed=config.seed,
+    session = ScenarioSession(
+        config, storage_factory=storage_factory, placement=placement
     )
-
-    sim = Simulation()
-    if OBS.enabled:
-        OBS.tracer.bind_clock(sim)
-    if storage_factory is not None:
-        storage = storage_factory(sim)
-    elif config.tiers == "three-tier":
-        storage = TieredStorage.three_tier_testbed(sim)
-    else:
-        storage = TieredStorage.two_tier_testbed(sim)
-    runtime = ContainerRuntime(sim)
-    dataset = stage_dataset(
-        f"{config.app}-data",
-        ladder,
-        storage,
-        size_scale=config.size_scale,
-        placement=placement,
-    )
-
-    launch_noise(
-        runtime,
-        storage.slowest,
-        config.noise,
-        seed=config.seed + 1,
-        phase_jitter=config.noise_phase_jitter,
-        period_jitter=config.noise_period_jitter,
-    )
-
-    if config.policy == "storage-only":
-        weight_fn = make_weight_function(ladder, use_priority=False, use_accuracy=False)
-    elif config.policy == "cross-layer":
-        weight_fn = make_weight_function(
-            ladder,
-            use_priority=config.weight_use_priority,
-            use_accuracy=config.weight_use_accuracy,
-        )
-    else:
-        weight_fn = None
-    policy = make_policy(
-        config.policy, weight_fn, weight_cardinality=config.weight_cardinality
-    )
-
-    abplot = AugmentationBandwidthPlot(config.bw_low, config.bw_high)
-    if config.error_control:
-        prescribed = config.prescribed_bound
-    else:
-        # No error control: nothing is mandated; retrieval is purely
-        # estimate-driven (Fig. 8's configuration).
-        prescribed = ladder.base_error
-    controller = TangoController(
-        ladder,
-        policy,
-        abplot,
-        prescribed_bound=prescribed,
-        priority=config.priority,
-        estimator=_make_estimator(config),
-        estimation_interval=config.estimation_interval,
-    )
+    app, original, ladder = session.build_ladder()
+    dataset = session.stage(f"{config.app}-data", ladder)
+    session.launch_noise()
+    controller = session.build_controller(ladder)
 
     # Scenario-level telemetry: a span around the whole run, a sampler on
     # the contended capacity tier, and one event per completed step.  All
@@ -260,8 +182,11 @@ def run_scenario(
             max_steps=config.max_steps,
         )
         sampler = DeviceSampler(
-            sim, storage.slowest.device, interval=config.period / 4.0
+            session.sim, session.storage.slowest.device, interval=config.period / 4.0
         ).start()
+        # Cancel the sampler's pending tick *before* stopping the
+        # containers so idle rows never pad its series.
+        session.on_teardown(sampler.stop)
 
         def on_step(record):
             OBS.tracer.event(
@@ -279,26 +204,8 @@ def run_scenario(
             reg.histogram("scenario.io_time").observe(record.io_time)
             reg.gauge("scenario.measured_bw").set(record.measured_bw)
 
-    analytics = runtime.create("analytics")
-    driver = AnalyticsDriver(
-        analytics,
-        dataset,
-        controller,
-        period=config.period,
-        max_steps=config.max_steps,
-        on_step=on_step,
-    )
-    proc = sim.process(driver.workload())
-    analytics.attach(proc)
-
-    horizon = config.max_steps * config.period + 600.0
-    while proc.is_alive and sim.now < horizon:
-        sim.run(until=min(sim.now + config.period, horizon))
-    # Teardown: cancel the sampler's pending tick *before* stopping the
-    # containers so idle rows never pad its series.
-    if sampler is not None:
-        sampler.stop()
-    runtime.stop_all()
+    driver = session.add_analytics("analytics", dataset, controller, on_step=on_step)
+    final_time = session.run()
 
     result = ScenarioResult(
         config=config,
@@ -307,14 +214,14 @@ def run_scenario(
         dataset=dataset,
         app=app,
         original=original,
-        weight_history=list(analytics.cgroup.weight_history),
-        final_time=sim.now,
+        weight_history=list(session.containers["analytics"].cgroup.weight_history),
+        final_time=final_time,
         device_samples=list(sampler.samples) if sampler is not None else None,
     )
     if scenario_span is not None:
         scenario_span.set(
             steps=len(result.records),
-            final_time=sim.now,
+            final_time=final_time,
             mean_io_time=result.mean_io_time if result.records else None,
             weight_adjustments=len(result.weight_history),
         ).end()

@@ -2,9 +2,10 @@
 
 The simulator is deterministic per seed; statistical claims come from
 replicating a scenario over independent seeds.  ``replicate`` runs the
-sweep and summarises any per-run metric with mean, std, standard error,
-and a t-based 95 % confidence interval — the numbers behind every
-"A beats B" statement in EXPERIMENTS.md.
+sweep (optionally fanned out over a :class:`SweepExecutor` process pool)
+and summarises any per-run metric with mean, std, standard error, and a
+t-based 95 % confidence interval — the numbers behind every "A beats B"
+statement in EXPERIMENTS.md.
 """
 
 from __future__ import annotations
@@ -15,8 +16,8 @@ from typing import Callable, Sequence
 import numpy as np
 from scipy import stats as _scipy_stats
 
+from repro.engine.sweep import ScenarioSummary, SweepExecutor
 from repro.experiments.config import ScenarioConfig
-from repro.experiments.runner import ScenarioResult, run_scenario
 
 __all__ = ["ReplicationStats", "replicate", "compare"]
 
@@ -58,20 +59,36 @@ class ReplicationStats:
 def replicate(
     config: ScenarioConfig,
     seeds: Sequence[int],
-    metric: Callable[[ScenarioResult], float] = lambda r: r.mean_io_time,
+    metric: Callable[[ScenarioSummary], float] = lambda r: r.mean_io_time,
+    *,
+    executor: SweepExecutor | None = None,
+    outcome_error: bool = False,
 ) -> ReplicationStats:
-    """Run ``config`` once per seed and summarise ``metric``."""
+    """Run ``config`` once per seed and summarise ``metric``.
+
+    ``metric`` receives the run's :class:`ScenarioSummary` (a full result
+    cannot cross the process boundary); it is applied parent-side, so it
+    may be any callable.  ``executor`` fans the seeds out over a process
+    pool (serial by default, identical values either way); set
+    ``outcome_error=True`` when the metric reads ``mean_outcome_error``.
+    """
     if not seeds:
         raise ValueError("at least one seed is required")
-    values = tuple(float(metric(run_scenario(config.with_(seed=s)))) for s in seeds)
-    return ReplicationStats(values=values)
+    ex = executor if executor is not None else SweepExecutor()
+    summaries = ex.run_scenarios(
+        [config.with_(seed=s) for s in seeds], outcome_error=outcome_error
+    )
+    return ReplicationStats(values=tuple(float(metric(s)) for s in summaries))
 
 
 def compare(
     config_a: ScenarioConfig,
     config_b: ScenarioConfig,
     seeds: Sequence[int],
-    metric: Callable[[ScenarioResult], float] = lambda r: r.mean_io_time,
+    metric: Callable[[ScenarioSummary], float] = lambda r: r.mean_io_time,
+    *,
+    executor: SweepExecutor | None = None,
+    outcome_error: bool = False,
 ) -> dict[str, float]:
     """Paired seed-by-seed comparison of two configurations.
 
@@ -81,8 +98,8 @@ def compare(
     (fraction of seeds where a's metric is lower), and the paired t-test
     p-value.
     """
-    a = replicate(config_a, seeds, metric)
-    b = replicate(config_b, seeds, metric)
+    a = replicate(config_a, seeds, metric, executor=executor, outcome_error=outcome_error)
+    b = replicate(config_b, seeds, metric, executor=executor, outcome_error=outcome_error)
     diffs = np.asarray(a.values) - np.asarray(b.values)
     if len(seeds) > 1 and diffs.std(ddof=1) > 0:
         _, p_value = _scipy_stats.ttest_rel(a.values, b.values)

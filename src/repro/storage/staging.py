@@ -12,6 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.core.error_control import AccuracyLadder
+from repro.engine.registry import PLACEMENTS, register_placement
 from repro.simkernel import Event
 from repro.storage.cgroup import BlkioCgroup
 from repro.storage.tier import StorageTier, TieredStorage
@@ -176,6 +177,40 @@ def stage_timeseries(
     )
 
 
+@register_placement("level")
+def _place_by_level(
+    ladder: AccuracyLadder, storage: TieredStorage, scale: float
+) -> tuple[StorageTier, tuple[StorageTier, ...]]:
+    """The paper's ``ST^{L(ε_m)}`` mapping (bucket level → tier index)."""
+    base_tier = storage.fastest
+    bucket_tiers = tuple(
+        storage.tier_for_level(b.finest_level, ladder.decomposition.num_levels)
+        for b in ladder.buckets
+    )
+    return base_tier, bucket_tiers
+
+
+@register_placement("capacity")
+def _place_by_capacity(
+    ladder: AccuracyLadder, storage: TieredStorage, scale: float
+) -> tuple[StorageTier, tuple[StorageTier, ...]]:
+    """The capacity-aware greedy planner
+    (:func:`repro.core.placement.plan_placement`): base first on the
+    fastest tier with room, buckets fill progressively slower tiers."""
+    from repro.core.placement import plan_placement
+
+    # The planner thinks fastest-first in *scaled* bytes; feed it the
+    # tiers reversed and scaled capacities, then map indices back.
+    fastest_first = list(reversed(storage.tiers))
+    capacities = [t.filesystem.free_bytes for t in fastest_first]
+    # Plan in scaled space by shrinking capacities instead of
+    # re-scaling the ladder (the ladder's sizes are logical).
+    plan = plan_placement(ladder, [int(c / scale) for c in capacities])
+    base_tier = fastest_first[plan.base_tier]
+    bucket_tiers = tuple(fastest_first[t] for t in plan.bucket_tiers)
+    return base_tier, bucket_tiers
+
+
 def stage_dataset(
     name: str,
     ladder: AccuracyLadder,
@@ -199,46 +234,18 @@ def stage_dataset(
     :func:`repro.core.serialize.unpack_partial` payload — see
     :meth:`StagedDataset.assemble_payload`.
 
-    ``placement`` selects the tier mapping:
-
-    * ``"level"`` — the paper's ``ST^{L(ε_m)}`` mapping (bucket level →
-      tier index);
-    * ``"capacity"`` — the capacity-aware greedy planner
-      (:func:`repro.core.placement.plan_placement`): base first on the
-      fastest tier with room, buckets fill progressively slower tiers.
-      Use this when the performance tiers cannot hold their level-mapped
-      share.
+    ``placement`` names a strategy from the
+    :data:`~repro.engine.registry.PLACEMENTS` registry — built-ins are
+    ``"level"`` (the paper's mapping) and ``"capacity"`` (for when the
+    performance tiers cannot hold their level-mapped share); experiments
+    can register their own with
+    :func:`~repro.engine.registry.register_placement`.
     """
     if size_scale <= 0:
         raise ValueError(f"size_scale must be > 0, got {size_scale}")
-    if placement not in ("level", "capacity"):
-        raise ValueError(f"placement must be 'level' or 'capacity', got {placement!r}")
 
     scale = float(size_scale)
-
-    def scaled(nbytes: int) -> int:
-        return max(1, int(round(nbytes * scale))) if nbytes > 0 else 0
-
-    if placement == "level":
-        base_tier = storage.fastest
-        bucket_tiers = tuple(
-            storage.tier_for_level(b.finest_level, ladder.decomposition.num_levels)
-            for b in ladder.buckets
-        )
-    else:
-        from repro.core.placement import plan_placement
-
-        # The planner thinks fastest-first in *scaled* bytes; feed it the
-        # tiers reversed and scaled capacities, then map indices back.
-        fastest_first = list(reversed(storage.tiers))
-        capacities = [t.filesystem.free_bytes for t in fastest_first]
-        # Plan in scaled space by shrinking capacities instead of
-        # re-scaling the ladder (the ladder's sizes are logical).
-        plan = plan_placement(
-            ladder, [int(c / scale) for c in capacities]
-        )
-        base_tier = fastest_first[plan.base_tier]
-        bucket_tiers = tuple(fastest_first[t] for t in plan.bucket_tiers)
+    base_tier, bucket_tiers = PLACEMENTS.create(placement, ladder, storage, scale)
 
     ds = StagedDataset(
         name=name,

@@ -15,6 +15,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.engine.registry import register_storage_preset
 from repro.simkernel import Simulation
 from repro.storage.device import DEVICE_PRESETS, BlockDevice, DeviceSpec
 from repro.storage.filesystem import Filesystem
@@ -106,3 +107,10 @@ class TieredStorage:
         if level < 0:
             raise ValueError(f"level must be >= 0, got {level}")
         return self.tiers[min(level, self.num_tiers - 1)]
+
+
+# Hierarchies a ScenarioConfig can name by its ``tiers`` field; bespoke
+# hierarchies (capacity-pressure experiments) bypass the registry with a
+# ``storage_factory`` instead.
+register_storage_preset("two-tier", TieredStorage.two_tier_testbed)
+register_storage_preset("three-tier", TieredStorage.three_tier_testbed)

@@ -21,7 +21,7 @@ whatever the I/O phase leaves of the period.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import TYPE_CHECKING, Callable, Generator
 
 from repro.core.controller import TangoController

@@ -12,7 +12,7 @@ from dataclasses import dataclass
 from typing import TYPE_CHECKING, Generator
 
 from repro.simkernel import Timeout
-from repro.util.validation import check_non_negative, check_positive
+from repro.util.validation import check_non_negative
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.containers import Container

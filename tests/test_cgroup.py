@@ -4,7 +4,7 @@ import math
 
 import pytest
 
-from repro.storage.cgroup import DEFAULT_BLKIO_WEIGHT, BlkioCgroup, CgroupController
+from repro.storage.cgroup import DEFAULT_BLKIO_WEIGHT, BlkioCgroup
 from repro.util.units import mb_per_s, mb_to_bytes
 
 

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.containers import Container, ContainerRuntime
+from repro.containers import ContainerRuntime
 from repro.simkernel import Interrupt, Timeout
 
 

@@ -2,8 +2,7 @@
 
 import pytest
 
-from repro.simkernel import Simulation, Timeout
-from repro.storage.cgroup import CgroupController
+from repro.simkernel import Timeout
 from repro.storage.device import DEVICE_PRESETS, BlockDevice, DeviceSpec, IOStats
 from repro.util.units import GiB, mb_per_s, mb_to_bytes
 

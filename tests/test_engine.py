@@ -1,0 +1,348 @@
+"""Tests for repro.engine — registries, memo cache, sessions, sweeps.
+
+The fingerprint tests pin the exact numerical behaviour of the ported
+entry points (``run_scenario``, ``run_multi_scenario``, ``run_campaign``)
+to hashes recorded from the pre-engine implementations: the refactor onto
+``ScenarioSession`` must be bit-identical per seed, not just "close".
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import time
+
+import pytest
+
+from repro.engine import memo
+from repro.engine.registry import (
+    APPS,
+    ESTIMATORS,
+    PLACEMENTS,
+    POLICIES,
+    STORAGE_PRESETS,
+    Registry,
+    register_estimator,
+)
+from repro.engine.sweep import ScenarioSummary, SweepExecutor, resolve_workers
+from repro.experiments.campaign import CampaignConfig, CampaignResult, run_campaign
+from repro.experiments.config import ScenarioConfig
+from repro.experiments.multi import TenantSpec, run_multi_scenario
+from repro.experiments.runner import ScenarioResult, run_scenario
+
+
+class TestRegistry:
+    def test_register_and_get(self):
+        reg = Registry("widget")
+        reg.register("a", object)
+        assert reg.get("a") is object
+        assert "a" in reg
+        assert reg.names() == ("a",)
+
+    def test_decorator_form(self):
+        reg = Registry("widget")
+
+        @reg.register("fancy")
+        def make_fancy():
+            return "fancy!"
+
+        assert reg.create("fancy") == "fancy!"
+        assert make_fancy() == "fancy!"  # decorator returns the target
+
+    def test_duplicate_name_raises(self):
+        reg = Registry("widget")
+        reg.register("a", object)
+        with pytest.raises(ValueError, match="already registered"):
+            reg.register("a", int)
+
+    def test_reregistering_same_object_is_idempotent(self):
+        reg = Registry("widget")
+        reg.register("a", object)
+        reg.register("a", object)  # same target: no error
+        assert reg.get("a") is object
+
+    def test_overwrite(self):
+        reg = Registry("widget")
+        reg.register("a", object)
+        reg.register("a", int, overwrite=True)
+        assert reg.get("a") is int
+
+    def test_unregister(self):
+        reg = Registry("widget")
+        reg.register("a", object)
+        reg.unregister("a")
+        assert "a" not in reg
+        reg.unregister("a")  # idempotent
+
+    def test_unknown_name_lists_options(self):
+        reg = Registry("widget")
+        reg.register("alpha", object)
+        reg.register("beta", object)
+        with pytest.raises(ValueError, match="alpha.*beta"):
+            reg.get("nope")
+
+    def test_bad_name_rejected(self):
+        reg = Registry("widget")
+        with pytest.raises(ValueError):
+            reg.register("", object)
+        with pytest.raises(ValueError):
+            reg.register(3, object)  # type: ignore[arg-type]
+
+    def test_builtin_registries_are_populated(self):
+        assert set(ESTIMATORS.names()) >= {"dft", "mean", "last"}
+        assert set(POLICIES.names()) >= {
+            "no-adaptivity",
+            "app-only",
+            "storage-only",
+            "cross-layer",
+        }
+        assert set(STORAGE_PRESETS.names()) >= {"two-tier", "three-tier"}
+        assert set(PLACEMENTS.names()) >= {"level", "capacity"}
+        assert set(APPS.names()) >= {"xgc", "genasis", "cfd"}
+
+    def test_plugged_estimator_is_valid_in_config(self):
+        register_estimator("test-constant", lambda config: None)
+        try:
+            cfg = ScenarioConfig(estimator="test-constant")
+            assert cfg.estimator == "test-constant"
+        finally:
+            ESTIMATORS.unregister("test-constant")
+        with pytest.raises(ValueError, match="unknown estimator"):
+            ScenarioConfig(estimator="test-constant")
+
+
+class TestConfigValidation:
+    def test_period_must_be_positive(self):
+        with pytest.raises(ValueError, match="period"):
+            ScenarioConfig(period=0.0)
+        with pytest.raises(ValueError, match="period"):
+            ScenarioConfig(period=-60.0)
+
+    def test_bw_bounds_must_be_ordered(self):
+        with pytest.raises(ValueError, match="bw_low"):
+            ScenarioConfig(bw_low=100.0, bw_high=100.0)
+        with pytest.raises(ValueError, match="bw_low"):
+            ScenarioConfig(bw_low=200.0, bw_high=100.0)
+
+    def test_unknown_component_names(self):
+        with pytest.raises(ValueError, match="unknown policy"):
+            ScenarioConfig(policy="nope")
+        with pytest.raises(ValueError, match="unknown storage preset"):
+            ScenarioConfig(tiers="four-tier")
+
+
+class TestEmptyRecordGuards:
+    def _empty_scenario_result(self) -> ScenarioResult:
+        return ScenarioResult(
+            config=ScenarioConfig(max_steps=1),
+            records=[],
+            ladder=None,
+            dataset=None,
+            app=None,
+            original=None,
+            weight_history=[],
+            final_time=0.0,
+        )
+
+    def test_scenario_result_raises_not_nan(self):
+        res = self._empty_scenario_result()
+        with pytest.raises(ValueError, match="no step records"):
+            res.mean_io_time
+        with pytest.raises(ValueError, match="no step records"):
+            res.std_io_time
+
+    def test_campaign_result_raises_not_nan(self):
+        res = CampaignResult(
+            config=CampaignConfig(steps=2),
+            records=[],
+            estimation_diagnostics={},
+            final_time=0.0,
+        )
+        with pytest.raises(ValueError, match="no step records"):
+            res.mean_io_time
+        with pytest.raises(ValueError, match="no step records"):
+            res.half_means()
+
+
+class TestMemoCache:
+    def test_hit_and_miss_accounting(self):
+        from repro.apps import make_app
+
+        memo.clear_cache()
+        app = make_app("xgc")
+        kwargs = dict(
+            grid_shape=(64, 64),
+            decimation_ratio=4,
+            metric=ScenarioConfig(max_steps=1).metric,
+            bounds=(0.1, 0.01),
+            seed=7,
+        )
+        data1, ladder1 = memo.ladder_for_app(app, **kwargs)
+        data2, ladder2 = memo.ladder_for_app(app, **kwargs)
+        assert data1 is data2 and ladder1 is ladder2
+        info = memo.cache_info()
+        assert info["hits"] == 1 and info["misses"] == 1 and info["size"] == 1
+
+        memo.ladder_for_app(app, **{**kwargs, "seed": 8})
+        assert memo.cache_info()["misses"] == 2
+        memo.clear_cache()
+        assert memo.cache_info() == {"hits": 0, "misses": 0, "size": 0}
+
+    def test_cached_field_is_read_only(self):
+        from repro.apps import make_app
+
+        memo.clear_cache()
+        data, _ = memo.ladder_for_app(
+            make_app("xgc"),
+            grid_shape=(64, 64),
+            decimation_ratio=4,
+            metric=ScenarioConfig(max_steps=1).metric,
+            bounds=(0.1,),
+            seed=0,
+        )
+        with pytest.raises(ValueError):
+            data[0, 0] = 0.0
+        memo.clear_cache()
+
+
+def _rec_tuple(r):
+    return (
+        r.step,
+        r.started_at,
+        r.io_time,
+        r.io_bytes,
+        r.target_rung,
+        r.prescribed_rung,
+        r.predicted_bw,
+        r.measured_bw,
+        tuple(r.weights),
+        r.probe_used,
+        r.read_errors,
+        r.base_time,
+        tuple(r.bucket_times),
+    )
+
+
+def _fingerprint(records, extras):
+    payload = json.dumps([list(_rec_tuple(r)) for r in records] + extras)
+    return hashlib.sha256(payload.encode()).hexdigest()
+
+
+class TestBehaviourFingerprints:
+    """Recorded from the pre-engine implementations; must never drift."""
+
+    def test_run_scenario(self):
+        res = run_scenario(ScenarioConfig(max_steps=6, seed=3))
+        assert (
+            _fingerprint(res.records, [res.final_time, res.weight_history])
+            == "3303f5b2ae6bf5dd97a7b64fcd6a5aa10737915fdfbc5a9dfb52c2ae55dee80e"
+        )
+
+    def test_run_scenario_three_tier(self):
+        res = run_scenario(
+            ScenarioConfig(
+                max_steps=5,
+                seed=1,
+                policy="storage-only",
+                tiers="three-tier",
+                estimator="mean",
+            )
+        )
+        assert (
+            _fingerprint(res.records, [res.final_time])
+            == "d333e2fabe613fd0be3ab5eb75f2b7802a81847d98c94f1e201a513582760593"
+        )
+
+    def test_run_multi_scenario(self):
+        mres = run_multi_scenario(
+            [
+                TenantSpec("hi", priority=10.0, seed=0),
+                TenantSpec("lo", priority=1.0, seed=1),
+            ],
+            ScenarioConfig(max_steps=4, seed=5),
+        )
+        assert (
+            _fingerprint(
+                mres["hi"].records + mres["lo"].records, [mres.final_time]
+            )
+            == "1a54d4b48e4f444756a021047ced6da8c6f1618d79920e3f899f324a628fe620"
+        )
+
+    def test_run_campaign(self):
+        cres = run_campaign(CampaignConfig(steps=5, timeseries_window=2, seed=2))
+        assert (
+            _fingerprint(cres.records, [cres.final_time])
+            == "f859e89e25e6a9772b6d64dd5c41cbaceecb53590b646ef469dd779436c174d5"
+        )
+
+
+def _sweep_configs() -> list[ScenarioConfig]:
+    # 8 configs: 2 policies x 4 seeds, kept tiny so the spawn pool's
+    # interpreter start-up dominates, not the simulations.
+    return [
+        ScenarioConfig(policy=p, max_steps=2, seed=s)
+        for p in ("no-adaptivity", "cross-layer")
+        for s in range(4)
+    ]
+
+
+class TestSweepExecutor:
+    def test_resolve_workers(self):
+        assert resolve_workers(None) == 1
+        assert resolve_workers(1) == 1
+        assert resolve_workers(4) == 4
+        assert resolve_workers("auto") >= 1
+        with pytest.raises(ValueError):
+            resolve_workers(0)
+
+    def test_serial_map_preserves_order(self):
+        ex = SweepExecutor(workers=1)
+        assert ex.map(lambda x: x * x, range(5)) == [0, 1, 4, 9, 16]
+        assert not ex.is_parallel
+
+    def test_parallel_matches_serial_exactly(self):
+        configs = _sweep_configs()
+        assert len(configs) >= 8
+        serial = SweepExecutor(workers=1).run_scenarios(configs)
+        parallel = SweepExecutor(workers=2).run_scenarios(configs)
+        assert len(serial) == len(parallel) == len(configs)
+        for i, (a, b) in enumerate(zip(serial, parallel)):
+            assert isinstance(a, ScenarioSummary)
+            assert a == b, f"summary {i} differs between serial and parallel"
+            assert a.config == configs[i]
+
+    @pytest.mark.skipif(
+        len(os.sched_getaffinity(0)) < 2,
+        reason="speedup needs at least two CPUs",
+    )
+    def test_parallel_speedup(self):
+        configs = [
+            ScenarioConfig(max_steps=4, seed=s) for s in range(8)
+        ]
+        t0 = time.perf_counter()
+        SweepExecutor(workers=1).run_scenarios(configs)
+        serial_s = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        SweepExecutor(workers="auto").run_scenarios(configs)
+        parallel_s = time.perf_counter() - t0
+        assert parallel_s < serial_s, (
+            f"parallel sweep ({parallel_s:.1f}s) not faster than serial "
+            f"({serial_s:.1f}s)"
+        )
+
+    def test_summary_matches_full_result(self):
+        cfg = ScenarioConfig(max_steps=3, seed=11)
+        full = run_scenario(cfg)
+        (summary,) = SweepExecutor().run_scenarios([cfg], outcome_error=True)
+        assert summary.num_records == len(full.records)
+        assert summary.mean_io_time == full.mean_io_time
+        assert summary.std_io_time == full.std_io_time
+        assert summary.mean_target_rung == full.mean_target_rung
+        assert summary.final_time == full.final_time
+        assert summary.mean_outcome_error == full.mean_outcome_error
+
+    def test_outcome_error_omitted_by_default(self):
+        cfg = ScenarioConfig(max_steps=2, seed=0)
+        (summary,) = SweepExecutor().run_scenarios([cfg])
+        assert summary.mean_outcome_error is None

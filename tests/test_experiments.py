@@ -18,7 +18,6 @@ from repro.experiments.fig13 import run_fig13
 from repro.experiments.fig14 import run_fig14
 from repro.experiments.fig15 import run_fig15
 from repro.experiments.fig16 import run_fig16
-from repro.experiments.config import ScenarioConfig
 from repro.experiments.headline import headline_from_grid
 from repro.core.error_control import ErrorMetric
 

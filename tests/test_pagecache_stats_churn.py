@@ -3,8 +3,6 @@
 import pytest
 
 from repro.containers import ContainerRuntime
-from repro.simkernel import Simulation, Timeout
-from repro.storage.cgroup import CgroupController
 from repro.storage.device import BlockDevice, DeviceSpec
 from repro.storage.pagecache import PageCache
 from repro.storage.stats import DeviceSampler

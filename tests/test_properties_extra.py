@@ -1,7 +1,6 @@
 """Additional hypothesis property tests on cross-module invariants."""
 
 import numpy as np
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

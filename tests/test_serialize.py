@@ -7,7 +7,6 @@ from repro.core.error_control import ErrorMetric, build_ladder
 from repro.core.metrics import nrmse
 from repro.core.refactor import decompose, recompose_full
 from repro.core.serialize import (
-    FORMAT_MAGIC,
     header_of,
     pack_ladder,
     payload_size_through,

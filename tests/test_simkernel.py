@@ -3,12 +3,10 @@
 import pytest
 
 from repro.simkernel import (
-    Event,
     EventAlreadyTriggered,
     Interrupt,
     Process,
     SimError,
-    Simulation,
     Timeout,
 )
 

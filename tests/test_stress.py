@@ -1,7 +1,6 @@
 """Randomised stress tests: conservation and liveness invariants of the
 simulated storage stack under arbitrary schedules."""
 
-import numpy as np
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st

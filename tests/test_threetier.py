@@ -5,11 +5,10 @@ import pytest
 from repro.core.error_control import ErrorMetric, build_ladder
 from repro.core.refactor import decompose
 from repro.experiments.threetier import run_threetier
-from repro.simkernel import Simulation
 from repro.storage.device import DEVICE_PRESETS, DeviceSpec
 from repro.storage.staging import stage_dataset
 from repro.storage.tier import TieredStorage
-from repro.util.units import GiB, mb_per_s
+from repro.util.units import mb_per_s
 
 
 @pytest.fixture

@@ -4,7 +4,6 @@ import pytest
 
 from repro.core.error_control import BYTES_PER_COEFFICIENT, ErrorMetric, build_ladder
 from repro.core.refactor import decompose
-from repro.simkernel import Simulation
 from repro.storage.device import DEVICE_PRESETS, DeviceSpec
 from repro.storage.staging import stage_dataset
 from repro.storage.tier import TieredStorage
