@@ -54,6 +54,27 @@ def test_micro_build_ladder_analytic(benchmark, dec):
     assert result.num_buckets == 3
 
 
+def test_micro_build_ladder_hybrid(benchmark, dec):
+    result = benchmark(
+        build_ladder, dec, [0.1, 0.01, 0.001], ErrorMetric.NRMSE, method="hybrid"
+    )
+    assert result.num_buckets == 3
+
+
+def test_micro_build_ladder_reference_nocache(benchmark, dec):
+    """The pre-fastladder cost model: exact probes, cold scratch each build."""
+
+    def build():
+        if hasattr(dec, "_ladder_scratch"):
+            del dec._ladder_scratch
+        return build_ladder(
+            dec, [0.1, 0.01, 0.001], ErrorMetric.NRMSE, method="reference"
+        )
+
+    result = benchmark.pedantic(build, rounds=3, iterations=1)
+    assert result.num_buckets == 3
+
+
 def test_micro_reconstruct_rung(benchmark, ladder):
     result = benchmark(ladder.reconstruct, 2)
     assert result.shape == ladder.decomposition.shapes[0]

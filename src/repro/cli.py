@@ -274,6 +274,17 @@ def build_parser() -> argparse.ArgumentParser:
         "figures without a sweep ignore it)",
     )
 
+    bench = sub.add_parser(
+        "bench", help="run the microbenchmark suite and write BENCH_micro.json"
+    )
+    bench.add_argument(
+        "--output", metavar="PATH",
+        help="report path (default: <repo root>/BENCH_micro.json)",
+    )
+    bench.add_argument("--repeats", type=int, default=5, help="timed repeats per benchmark")
+    bench.add_argument("--grid", type=int, default=512, help="square grid edge length")
+    bench.add_argument("--levels", type=int, default=5, help="decomposition levels")
+
     sub.add_parser("tables", help="print the paper's survey tables")
     sub.add_parser("list", help="list regenerable artifacts")
     return parser
@@ -405,6 +416,32 @@ def _cmd_export(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from repro.experiments.bench import (
+        BENCH_FILENAME,
+        repo_root,
+        run_microbench,
+        write_report,
+    )
+
+    def progress(name: str, row: dict) -> None:
+        print(f"  {name:32s} median {row['median_s'] * 1e3:9.2f} ms")
+
+    print(f"microbench: {args.grid}x{args.grid}, {args.levels} levels, "
+          f"{args.repeats} repeats")
+    report = run_microbench(
+        repeats=args.repeats,
+        grid=(args.grid, args.grid),
+        levels=args.levels,
+        progress=progress,
+    )
+    speedup = report["derived"]["ladder_speedup_default_vs_reference"]
+    print(f"  ladder speedup (default vs reference): {speedup:.1f}x")
+    path = write_report(report, args.output or repo_root() / BENCH_FILENAME)
+    print(f"report written to {path}", file=sys.stderr)
+    return 0
+
+
 def _cmd_tables(_args: argparse.Namespace) -> int:
     from repro.experiments.tables import table1_text, table2_text, table4_text
 
@@ -429,6 +466,7 @@ def main(argv: list[str] | None = None) -> int:
         "figure": _cmd_figure,
         "iobench": _cmd_iobench,
         "export": _cmd_export,
+        "bench": _cmd_bench,
         "tables": _cmd_tables,
         "list": _cmd_list,
     }

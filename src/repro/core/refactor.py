@@ -81,7 +81,9 @@ def _interp_axis(coarse: np.ndarray, axis: int, fine_len: int, d: int) -> np.nda
     take_hi = np.take(coarse, hi, axis=axis)
     shape = [1] * coarse.ndim
     shape[axis] = fine_len
-    w = w.reshape(shape)
+    # Weights in the data's dtype so float32 inputs interpolate in float32
+    # (float64 is unchanged: the cast is a no-op).
+    w = w.reshape(shape).astype(coarse.dtype, copy=False)
     return take_lo * (1.0 - w) + take_hi * w
 
 
@@ -94,7 +96,9 @@ def prolongate(coarse: np.ndarray, fine_shape: tuple[int, ...], d: int = 2) -> n
     """
     if d < 2:
         raise ValueError(f"decimation stride d must be >= 2, got {d}")
-    coarse = np.asarray(coarse, dtype=np.float64)
+    coarse = np.asarray(coarse)
+    if coarse.dtype not in (np.float32, np.float64):
+        coarse = coarse.astype(np.float64)
     if coarse.ndim != len(fine_shape):
         raise ValueError(
             f"dimensionality mismatch: coarse is {coarse.ndim}-d, "
@@ -250,6 +254,7 @@ def decompose(
     d: int | list[int] | tuple[int, ...] = 2,
     *,
     transform: str = "linear",
+    dtype: str | np.dtype | type | None = None,
 ) -> Decomposition:
     """Decompose ``data`` into ``num_levels`` hierarchical levels.
 
@@ -259,11 +264,30 @@ def decompose(
     pair (the paper's ``d^l``), e.g. ``d=[2, 4]`` restricts level 0→1 by
     2 and level 1→2 by 4.  ``transform`` selects the restriction/
     prolongation pair (:mod:`repro.core.transforms`).
+
+    ``dtype`` controls the working precision.  ``None`` (the default)
+    keeps the historical behaviour of computing in float64 regardless of
+    the input.  ``"preserve"`` keeps a float32 input in float32 end to
+    end — halving memory and the per-coefficient byte accounting
+    (``Decomposition.dtype_nbytes`` becomes 4) — while non-float inputs
+    still promote to float64.  An explicit float32/float64 dtype forces
+    that precision.
     """
     from repro.core.transforms import get_transform
 
     tr = get_transform(transform)
-    data = np.asarray(data, dtype=np.float64)
+    if dtype is None:
+        work_dtype = np.dtype(np.float64)
+    elif isinstance(dtype, str) and dtype == "preserve":
+        src = np.asarray(data).dtype
+        work_dtype = src if src in (np.float32, np.float64) else np.dtype(np.float64)
+    else:
+        work_dtype = np.dtype(dtype)
+        if work_dtype not in (np.float32, np.float64):
+            raise ValueError(
+                f"dtype must be float32 or float64 (or 'preserve'), got {work_dtype}"
+            )
+    data = np.asarray(data, dtype=work_dtype)
     if num_levels < 1:
         raise ValueError(f"num_levels must be >= 1, got {num_levels}")
     if isinstance(d, int):

@@ -4,10 +4,17 @@ The simulator models staged objects by size only; a real deployment has
 to persist them.  This module defines a compact, self-describing binary
 format for an :class:`~repro.core.error_control.AccuracyLadder`:
 
-* a JSON header (magic, version, shapes, stride, metric, bucket table);
+* a JSON header (magic, version, shapes, stride, metric, bucket table,
+  ``dtype_nbytes`` — the in-memory precision of the decomposition);
 * the base representation (raw little-endian float64);
 * the coefficient stream as interleaved ``(position: int64, value:
   float64)`` records in retrieval order.
+
+The wire format is always float64 (float32 values widen exactly), so
+payload sizes are dtype-independent; ``dtype_nbytes`` records the
+*logical* precision, and unpacking casts the base, the augmentations and
+the value stream back to it so a float32 decomposition round-trips as
+float32.
 
 Because the stream is interleaved record-by-record, **any byte prefix of
 the payload is a valid partial retrieval** — exactly the property the
@@ -63,6 +70,7 @@ def _encode_header(ladder: AccuracyLadder) -> bytes:
         "shapes": [list(s) for s in dec.shapes],
         "stride": dec.d if isinstance(dec.d, int) else list(dec.d),
         "transform": dec.transform,
+        "dtype_nbytes": int(dec.dtype_nbytes),
         "metric": ladder.metric.value,
         "base_error": ladder.base_error,
         "stream_length": ladder.stream_length,
@@ -156,6 +164,8 @@ def _unpack(payload: bytes) -> tuple[AccuracyLadder, int, int]:
     shapes = [tuple(s) for s in header["shapes"]]
     num_levels = len(shapes)
     stream = int(header["stream_length"])
+    dtype_nbytes = int(header.get("dtype_nbytes", 8))
+    work_dtype = np.float32 if dtype_nbytes == 4 else np.float64
 
     base_start = header["_header_end"]
     base_count = int(np.prod(shapes[-1]))
@@ -173,7 +183,7 @@ def _unpack(payload: bytes) -> tuple[AccuracyLadder, int, int]:
         else np.empty(0, dtype=_RECORD_DTYPE)
     )
     positions = records["pos"].astype(np.int64)
-    values = records["val"].astype(np.float64)
+    values = records["val"].astype(work_dtype)
 
     level_offsets = np.asarray(header["level_offsets"], dtype=np.int64)
     levels = np.zeros(available, dtype=np.int32)
@@ -199,11 +209,14 @@ def _unpack(payload: bytes) -> tuple[AccuracyLadder, int, int]:
     # Rebuild dense augmentations from the available coefficients so the
     # whole refactor API (recompose_full etc.) works on the result.
     dec = Decomposition(
-        base=np.array(base),
-        augmentations=[np.zeros(shapes[l]) for l in range(num_levels - 1)],
+        base=np.array(base, dtype=work_dtype),
+        augmentations=[
+            np.zeros(shapes[l], dtype=work_dtype) for l in range(num_levels - 1)
+        ],
         shapes=shapes,
         d=(header["stride"] if isinstance(header["stride"], int)
            else tuple(header["stride"])),
+        dtype_nbytes=dtype_nbytes,
         transform=header.get("transform", "linear"),
     )
     for order in range(len(level_offsets) - 1):

@@ -37,6 +37,29 @@ class Transform:
     def prolongate(self, coarse: np.ndarray, fine_shape: tuple[int, ...], d: int) -> np.ndarray:
         raise NotImplementedError
 
+    def prolongation_operator_1d(self, n_coarse: int, n_fine: int, d: int) -> np.ndarray:
+        """Dense ``(n_fine, n_coarse)`` matrix of the 1-D prolongation along one axis.
+
+        Column ``j`` is the impulse response (stencil footprint) of coarse
+        sample ``j`` on the fine axis.  Both transforms prolongate
+        separably, so the multi-dimensional response of a coarse point is
+        the outer product of its per-axis columns, and multi-level
+        responses compose by matrix product — the basis of the fast
+        ladder engine's sparse-delta reconstruction
+        (:mod:`repro.core.fastladder`).
+
+        Derived by prolongating the identity through :meth:`prolongate`
+        itself (the trailing axis already matches ``n_coarse`` and is
+        passed through), so it is exact for any transform, including
+        boundary clamping.
+        """
+        if n_coarse == n_fine:
+            return np.eye(n_coarse)
+        return np.asarray(
+            self.prolongate(np.eye(n_coarse), (n_fine, n_coarse), d),
+            dtype=np.float64,
+        )
+
 
 class LinearTransform(Transform):
     """The paper's transform: subsample + separable linear interpolation."""
@@ -70,7 +93,9 @@ class AverageTransform(Transform):
     def restrict(self, fine: np.ndarray, d: int) -> np.ndarray:
         if d < 2:
             raise ValueError(f"decimation stride d must be >= 2, got {d}")
-        out = np.asarray(fine, dtype=np.float64)
+        out = np.asarray(fine)
+        if out.dtype not in (np.float32, np.float64):
+            out = out.astype(np.float64)
         if out.ndim == 0:
             raise ValueError("cannot restrict a 0-d array")
         for axis, n in enumerate(out.shape):
@@ -81,13 +106,17 @@ class AverageTransform(Transform):
             counts = np.minimum(starts + d, n) - starts
             shape = [1] * out.ndim
             shape[axis] = len(starts)
-            out = sums / counts.reshape(shape)
+            # Counts in the data's dtype so float32 stays float32 (the
+            # float64 path divides by the same exactly-converted values).
+            out = sums / counts.reshape(shape).astype(sums.dtype)
         return out
 
     def prolongate(self, coarse: np.ndarray, fine_shape: tuple[int, ...], d: int) -> np.ndarray:
         if d < 2:
             raise ValueError(f"decimation stride d must be >= 2, got {d}")
-        out = np.asarray(coarse, dtype=np.float64)
+        out = np.asarray(coarse)
+        if out.dtype not in (np.float32, np.float64):
+            out = out.astype(np.float64)
         if out.ndim != len(fine_shape):
             raise ValueError(
                 f"dimensionality mismatch: coarse is {out.ndim}-d, "

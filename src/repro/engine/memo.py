@@ -46,6 +46,7 @@ def _key(
     metric: ErrorMetric,
     bounds: tuple[float, ...],
     seed: int,
+    method: str,
 ) -> tuple:
     # The generated field depends on the app *class* (generate ignores
     # constructor tuning, which only affects analyze()), so the class is
@@ -58,6 +59,7 @@ def _key(
         metric,
         tuple(bounds),
         int(seed),
+        method,
     )
 
 
@@ -69,10 +71,17 @@ def ladder_for_app(
     metric: ErrorMetric,
     bounds: tuple[float, ...],
     seed: int,
+    method: str = "hybrid",
 ) -> tuple[np.ndarray, AccuracyLadder]:
-    """Generate the app's field, decompose it, and build its ladder — memoized."""
+    """Generate the app's field, decompose it, and build its ladder — memoized.
+
+    ``method`` selects the ladder search strategy (see
+    :func:`repro.core.error_control.build_ladder`) and is part of the
+    cache key.  The generated field is handed to ``build_ladder`` as the
+    reference ``original`` so construction skips its own recompose pass.
+    """
     global _hits, _misses
-    key = _key(app, grid_shape, decimation_ratio, metric, bounds, seed)
+    key = _key(app, grid_shape, decimation_ratio, metric, bounds, seed, method)
     with _lock:
         hit = _cache.get(key)
         if hit is not None:
@@ -84,7 +93,7 @@ def ladder_for_app(
     data.setflags(write=False)
     levels = levels_for_decimation(data.shape, decimation_ratio)
     dec = decompose(data, levels)
-    ladder = build_ladder(dec, list(bounds), metric)
+    ladder = build_ladder(dec, list(bounds), metric, method=method, original=data)
     with _lock:
         _cache[key] = (data, ladder)
         _cache.move_to_end(key)

@@ -1,0 +1,198 @@
+"""Headless microbenchmark harness — the perf-regression trajectory.
+
+``pytest-benchmark`` runs (``benchmarks/test_microbench.py``) are great
+interactively but leave no machine-readable trail.  This module times the
+same core operations with plain ``time.perf_counter`` loops and emits a
+single JSON report (``BENCH_micro.json`` at the repo root) carrying
+median wall-times plus machine/commit metadata, so successive commits can
+be compared without a pytest session.  Drive it via
+``benchmarks/run_bench.py`` or ``repro bench``; CI regenerates the report
+as a non-blocking artifact.
+
+Two ladder timings matter for the incremental-construction work:
+
+* ``build_ladder_reference_nocache`` — ``method="reference"`` with the
+  decomposition's scratch cache deleted before every iteration.  Every
+  probe re-runs a full reconstruction + metric pass, which is exactly the
+  pre-fastladder cost model; this is the regression baseline.
+* ``build_ladder_hybrid`` — the default method in its steady state
+  (scratch retained across calls, the pattern sweeps and the memo
+  produce).  ``derived.ladder_speedup_default_vs_reference`` is the ratio
+  of the two medians and is expected to stay ≥ 5.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import statistics
+import subprocess
+import time
+from pathlib import Path
+from typing import Callable
+
+__all__ = ["BENCH_FILENAME", "SCHEMA_VERSION", "run_microbench", "write_report", "repo_root"]
+
+BENCH_FILENAME = "BENCH_micro.json"
+SCHEMA_VERSION = 1
+
+#: Median speedup of the default ladder method over the pre-fastladder
+#: cost model that the perf work is pinned to (see module docstring).
+SPEEDUP_TARGET = 5.0
+
+
+def repo_root() -> Path:
+    """The repository root (three levels above this module)."""
+    return Path(__file__).resolve().parents[3]
+
+
+def _git_commit(root: Path) -> str | None:
+    try:
+        proc = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            cwd=root,
+            capture_output=True,
+            text=True,
+            timeout=10,
+        )
+    except OSError:
+        return None
+    commit = proc.stdout.strip()
+    return commit if proc.returncode == 0 and commit else None
+
+
+def _time(
+    fn: Callable[[], object],
+    *,
+    repeats: int,
+    warmup: int = 1,
+    setup: Callable[[], None] | None = None,
+) -> list[float]:
+    """Wall-time ``fn`` ``repeats`` times (after ``warmup`` discarded runs).
+
+    ``setup`` runs before every iteration, warmup included, outside the
+    timed region.
+    """
+    times: list[float] = []
+    for i in range(warmup + repeats):
+        if setup is not None:
+            setup()
+        t0 = time.perf_counter()
+        fn()
+        dt = time.perf_counter() - t0
+        if i >= warmup:
+            times.append(dt)
+    return times
+
+
+def _clear_scratch(dec) -> None:
+    """Drop the per-decomposition ladder scratch cache (emulates a cold build)."""
+    if hasattr(dec, "_ladder_scratch"):
+        del dec._ladder_scratch
+
+
+def run_microbench(
+    *,
+    repeats: int = 5,
+    grid: tuple[int, int] = (512, 512),
+    levels: int = 5,
+    progress: Callable[[str, dict], None] | None = None,
+) -> dict:
+    """Run the suite and return the report dict (see module docstring)."""
+    import numpy as np
+
+    from repro.apps import make_app
+    from repro.core.error_control import ErrorMetric, build_ladder
+    from repro.core.refactor import decompose, recompose_full
+    from repro.core.serialize import pack_ladder, unpack_ladder
+
+    if repeats < 1:
+        raise ValueError(f"repeats must be >= 1, got {repeats}")
+
+    bounds = [0.1, 0.01, 0.001]
+    metric = ErrorMetric.NRMSE
+    field = make_app("xgc").generate(grid, seed=0)
+    dec = decompose(field, levels)
+    ladder = build_ladder(dec, bounds, metric)
+    payload = pack_ladder(ladder)
+
+    specs: list[tuple[str, Callable[[], object], Callable[[], None] | None]] = [
+        ("decompose", lambda: decompose(field, levels), None),
+        ("recompose_full", lambda: recompose_full(dec), None),
+        (
+            "build_ladder_reference_nocache",
+            lambda: build_ladder(dec, bounds, metric, method="reference"),
+            lambda: _clear_scratch(dec),
+        ),
+        (
+            "build_ladder_hybrid_coldcache",
+            lambda: build_ladder(dec, bounds, metric),
+            lambda: _clear_scratch(dec),
+        ),
+        ("build_ladder_hybrid", lambda: build_ladder(dec, bounds, metric), None),
+        (
+            "build_ladder_measured",
+            lambda: build_ladder(dec, bounds, metric, method="measured"),
+            None,
+        ),
+        (
+            "build_ladder_analytic",
+            lambda: build_ladder(dec, bounds, metric, method="analytic"),
+            None,
+        ),
+        ("reconstruct_rung", lambda: ladder.reconstruct(ladder.num_buckets - 1), None),
+        ("pack_unpack", lambda: unpack_ladder(payload), None),
+    ]
+
+    results: dict[str, dict] = {}
+    for name, fn, setup in specs:
+        times = _time(fn, repeats=repeats, setup=setup)
+        row = {
+            "median_s": statistics.median(times),
+            "min_s": min(times),
+            "max_s": max(times),
+            "repeats": repeats,
+        }
+        results[name] = row
+        if progress is not None:
+            progress(name, row)
+
+    reference = results["build_ladder_reference_nocache"]["median_s"]
+    default = results["build_ladder_hybrid"]["median_s"]
+    cold = results["build_ladder_hybrid_coldcache"]["median_s"]
+    derived = {
+        "ladder_speedup_default_vs_reference": reference / default if default > 0 else None,
+        "ladder_speedup_coldcache_vs_reference": reference / cold if cold > 0 else None,
+        "speedup_target": SPEEDUP_TARGET,
+        "meets_speedup_target": default > 0 and reference / default >= SPEEDUP_TARGET,
+    }
+
+    root = repo_root()
+    return {
+        "schema": SCHEMA_VERSION,
+        "generated_unix": time.time(),
+        "commit": _git_commit(root),
+        "machine": {
+            "platform": platform.platform(),
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+            "cpu_count": os.cpu_count(),
+        },
+        "config": {
+            "grid": list(grid),
+            "levels": levels,
+            "bounds": bounds,
+            "metric": metric.value,
+            "repeats": repeats,
+        },
+        "benchmarks": results,
+        "derived": derived,
+    }
+
+
+def write_report(report: dict, path: str | Path) -> Path:
+    """Write the report as pretty JSON; returns the path written."""
+    path = Path(path)
+    path.write_text(json.dumps(report, indent=2, sort_keys=False) + "\n")
+    return path

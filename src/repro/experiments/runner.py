@@ -38,12 +38,13 @@ def build_ladder_for_app(
     metric: ErrorMetric,
     bounds: tuple[float, ...],
     seed: int,
+    method: str = "hybrid",
 ) -> tuple[np.ndarray, AccuracyLadder]:
     """Generate the app's field, decompose it, and build its ladder.
 
     Memoized via :func:`repro.engine.memo.ladder_for_app`: sweeps that
-    revisit the same (app, shape, ratio, metric, bounds, seed) point skip
-    the decomposition entirely.
+    revisit the same (app, shape, ratio, metric, bounds, seed, method)
+    point skip the decomposition entirely.
     """
     return ladder_for_app(
         app,
@@ -52,6 +53,7 @@ def build_ladder_for_app(
         metric=metric,
         bounds=bounds,
         seed=seed,
+        method=method,
     )
 
 

@@ -15,20 +15,35 @@ class ScheduledCallback:
     """A heap entry: callback at a simulated time, cancellable in O(1).
 
     Cancellation marks the entry; the event loop skips cancelled entries
-    when they surface, avoiding O(n) heap surgery.
+    when they surface, avoiding O(n) heap surgery.  The owning simulation
+    keeps an O(1) live-entry counter, so cancellation notifies it exactly
+    once — double cancels and cancels after execution are no-ops.
     """
 
-    __slots__ = ("time", "seq", "callback", "args", "cancelled")
+    __slots__ = ("time", "seq", "callback", "args", "cancelled", "executed", "_sim")
 
-    def __init__(self, time: float, seq: int, callback: Callable[..., None], args: tuple):
+    def __init__(
+        self,
+        time: float,
+        seq: int,
+        callback: Callable[..., None],
+        args: tuple,
+        sim: "Simulation | None" = None,  # noqa: F821 - circular hint
+    ):
         self.time = time
         self.seq = seq
         self.callback = callback
         self.args = args
         self.cancelled = False
+        self.executed = False
+        self._sim = sim
 
     def cancel(self) -> None:
+        if self.cancelled or self.executed:
+            return
         self.cancelled = True
+        if self._sim is not None:
+            self._sim._live -= 1
 
     def __lt__(self, other: "ScheduledCallback") -> bool:
         # FIFO within identical timestamps keeps runs deterministic.

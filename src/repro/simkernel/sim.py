@@ -26,6 +26,9 @@ class Simulation:
         self._now = 0.0
         self._heap: list[ScheduledCallback] = []
         self._seq = 0
+        #: Live (scheduled, neither cancelled nor executed) entry count,
+        #: maintained incrementally so ``pending_count`` is O(1).
+        self._live = 0
 
     @property
     def now(self) -> float:
@@ -47,9 +50,10 @@ class Simulation:
         """Run ``callback(*args)`` at absolute simulated ``time``."""
         if time < self._now:
             raise SimError(f"cannot schedule at {time} < now ({self._now})")
-        entry = ScheduledCallback(time, self._seq, callback, args)
+        entry = ScheduledCallback(time, self._seq, callback, args, self)
         self._seq += 1
         heapq.heappush(self._heap, entry)
+        self._live += 1
         return entry
 
     def event(self) -> Event:
@@ -72,8 +76,8 @@ class Simulation:
 
     @property
     def pending_count(self) -> int:
-        """Number of live (non-cancelled) scheduled callbacks."""
-        return sum(1 for e in self._heap if not e.cancelled)
+        """Number of live (non-cancelled) scheduled callbacks.  O(1)."""
+        return self._live
 
     def peek(self) -> float:
         """Time of the next live callback, or ``inf`` when idle."""
@@ -88,6 +92,8 @@ class Simulation:
             if entry.cancelled:
                 continue
             self._now = entry.time
+            entry.executed = True
+            self._live -= 1
             entry.callback(*entry.args)
             return True
         return False
@@ -98,16 +104,26 @@ class Simulation:
         When ``until`` is given, the clock is advanced to exactly ``until``
         on return (even if the last event fired earlier), mirroring the
         usual DES convention.
+
+        The loop pops each live entry exactly once: cancelled entries are
+        discarded as they surface and the head entry is inspected in place
+        before popping, rather than the peek-then-step double heap walk.
         """
         if until is not None and until < self._now:
             raise SimError(f"until={until} is in the past (now={self._now})")
-        while True:
-            nxt = self.peek()
-            if nxt == float("inf"):
+        heap = self._heap
+        while heap:
+            entry = heap[0]
+            if entry.cancelled:
+                heapq.heappop(heap)
+                continue
+            if until is not None and entry.time > until:
                 break
-            if until is not None and nxt > until:
-                break
-            self.step()
+            heapq.heappop(heap)
+            self._now = entry.time
+            entry.executed = True
+            self._live -= 1
+            entry.callback(*entry.args)
         if until is not None:
             self._now = max(self._now, until)
         return self._now

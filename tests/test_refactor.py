@@ -288,3 +288,67 @@ class TestDecompositionValidation:
                 augmentations=[np.zeros((4, 4))],
                 shapes=[(4, 4), (2, 2)],
             )
+
+
+class TestDtypePreservation:
+    def _f32(self, shape=(48, 40)):
+        rng = np.random.default_rng(11)
+        return rng.standard_normal(shape).astype(np.float32)
+
+    def test_default_promotes_to_float64(self):
+        dec = decompose(self._f32(), 3)
+        assert dec.base.dtype == np.float64
+        assert dec.dtype_nbytes == 8
+
+    @pytest.mark.parametrize("transform", ["linear", "average"])
+    def test_preserve_keeps_float32(self, transform):
+        f32 = self._f32()
+        dec = decompose(f32, 3, transform=transform, dtype="preserve")
+        assert dec.base.dtype == np.float32
+        assert all(a.dtype == np.float32 for a in dec.augmentations)
+        assert dec.dtype_nbytes == 4
+        rec = recompose_full(dec)
+        assert rec.dtype == np.float32
+        # Round-trip accuracy at float32 resolution (the double rounding
+        # of aug = x - predicted; predicted + aug costs a few ulp).
+        tol = 8 * np.finfo(np.float32).eps * float(np.max(np.abs(f32)))
+        assert np.max(np.abs(rec - f32)) <= tol
+
+    def test_preserve_on_int_promotes(self):
+        dec = decompose(np.arange(64).reshape(8, 8), 2, dtype="preserve")
+        assert dec.base.dtype == np.float64
+
+    def test_explicit_dtype(self):
+        dec = decompose(self._f32().astype(np.float64), 3, dtype=np.float32)
+        assert dec.base.dtype == np.float32
+        assert dec.dtype_nbytes == 4
+
+    def test_non_float_dtype_rejected(self):
+        with pytest.raises(ValueError, match="dtype"):
+            decompose(self._f32(), 3, dtype=np.int32)
+
+    def test_float64_unchanged_by_knob_plumbing(self):
+        f = self._f32().astype(np.float64)
+        a = decompose(f, 3)
+        b = decompose(f, 3, dtype=np.float64)
+        np.testing.assert_array_equal(a.base, b.base)
+        for x, y in zip(a.augmentations, b.augmentations):
+            np.testing.assert_array_equal(x, y)
+
+    def test_byte_accounting_halves_for_float32(self):
+        from repro.core.error_control import ErrorMetric, build_ladder
+
+        f32 = self._f32()
+        lad32 = build_ladder(decompose(f32, 3, dtype="preserve"), [0.1], ErrorMetric.NRMSE)
+        lad64 = build_ladder(
+            decompose(f32.astype(np.float64), 3), [0.1], ErrorMetric.NRMSE
+        )
+        assert lad32.base_nbytes * 2 == lad64.base_nbytes
+        # value bytes halve; the 4-byte position tag is dtype-independent.
+        assert lad32.bytes_per_coefficient == 4 + 4
+        assert lad64.bytes_per_coefficient == 8 + 4
+
+    def test_prolongate_preserves_float32(self):
+        coarse = np.linspace(0, 1, 5, dtype=np.float32)
+        out = prolongate(coarse, (9,), 2)
+        assert out.dtype == np.float32

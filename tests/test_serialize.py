@@ -126,3 +126,46 @@ class TestValidation:
         sizes = [payload_size_through(ladder, m) for m in range(ladder.num_buckets + 1)]
         assert sizes == sorted(sizes)
         assert sizes[-1] <= len(pack_ladder(ladder))
+
+
+class TestDtypeRoundTrip:
+    def test_float32_ladder_roundtrips_as_float32(self):
+        rng = np.random.default_rng(5)
+        f32 = rng.standard_normal((40, 32)).astype(np.float32)
+        ladder = build_ladder(
+            decompose(f32, 3, dtype="preserve"), [0.1, 0.01], ErrorMetric.NRMSE
+        )
+        payload = pack_ladder(ladder)
+        assert header_of(payload)["dtype_nbytes"] == 4
+        restored = unpack_ladder(payload)
+        dec = restored.decomposition
+        assert dec.dtype_nbytes == 4
+        assert dec.base.dtype == np.float32
+        assert all(a.dtype == np.float32 for a in dec.augmentations)
+        assert restored._stream_values.dtype == np.float32
+        np.testing.assert_array_equal(
+            np.asarray(restored._stream_values), np.asarray(ladder._stream_values)
+        )
+        assert restored.base_nbytes == ladder.base_nbytes
+        assert restored.bytes_per_coefficient == ladder.bytes_per_coefficient
+        np.testing.assert_allclose(
+            restored.reconstruct(restored.num_buckets),
+            ladder.reconstruct(ladder.num_buckets),
+            rtol=1e-6,
+        )
+
+    def test_header_without_dtype_key_defaults_to_float64(self, payload):
+        # Backward compat: payloads written before dtype_nbytes existed
+        # (key absent from the header) unpack as float64.
+        import json
+        import struct
+
+        prefix = struct.Struct("<4sHI")
+        magic, version, hlen = prefix.unpack_from(payload, 0)
+        header = json.loads(payload[prefix.size : prefix.size + hlen])
+        assert header.pop("dtype_nbytes") == 8
+        raw = json.dumps(header, separators=(",", ":")).encode()
+        legacy = prefix.pack(magic, version, len(raw)) + raw + payload[prefix.size + hlen :]
+        restored = unpack_ladder(legacy)
+        assert restored.decomposition.base.dtype == np.float64
+        assert restored.decomposition.dtype_nbytes == 8

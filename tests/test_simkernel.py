@@ -248,3 +248,54 @@ class TestProcesses:
         p.add_callback(lambda e: got.append(e.value))
         sim.run()
         assert got == ["ok"]
+
+
+class TestLiveCounter:
+    """pending_count is a maintained counter, not a heap scan."""
+
+    def test_counts_schedule_and_run(self, sim):
+        for t in (1.0, 2.0, 3.0):
+            sim.schedule(t, lambda: None)
+        assert sim.pending_count == 3
+        sim.run(until=2.0)
+        assert sim.pending_count == 1
+        sim.run()
+        assert sim.pending_count == 0
+
+    def test_double_cancel_counts_once(self, sim):
+        h = sim.schedule(1.0, lambda: None)
+        sim.schedule(2.0, lambda: None)
+        h.cancel()
+        h.cancel()
+        assert sim.pending_count == 1
+
+    def test_cancel_after_execution_is_noop(self, sim):
+        fired = []
+        h = sim.schedule(1.0, fired.append, 1)
+        sim.run()
+        assert fired == [1]
+        h.cancel()  # must not drive the counter negative
+        assert sim.pending_count == 0
+        sim.schedule(5.0, lambda: None)
+        assert sim.pending_count == 1
+
+    def test_counter_tracks_nested_scheduling(self, sim):
+        def outer():
+            sim.schedule(1.0, lambda: None)
+            sim.schedule(2.0, lambda: None)
+
+        sim.schedule(1.0, outer)
+        assert sim.pending_count == 1
+        sim.run(until=1.5)
+        assert sim.pending_count == 2
+        sim.run()
+        assert sim.pending_count == 0
+
+    def test_run_skips_cancelled_without_executing(self, sim):
+        fired = []
+        handles = [sim.schedule(float(t), fired.append, t) for t in range(1, 6)]
+        for h in handles[::2]:
+            h.cancel()
+        sim.run()
+        assert fired == [2, 4]
+        assert sim.pending_count == 0
