@@ -1,0 +1,76 @@
+#!/usr/bin/env python3
+"""Compare a fresh ``BENCH_micro.json`` against a committed baseline.
+
+Soft perf gate for CI: for every benchmark present in both reports, the
+median wall-times are compared and a GitHub Actions ``::warning`` line is
+emitted when the new median regresses by more than ``--threshold``
+(default 2x).  The script always exits 0 — shared runners are noisy and a
+hard perf gate on them would flap; the warnings surface in the run
+annotations where a human can judge them.
+
+    python benchmarks/compare_bench.py baseline.json fresh.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+DEFAULT_THRESHOLD = 2.0
+
+
+def compare(baseline: dict, fresh: dict, *, threshold: float) -> list[str]:
+    """Warning lines for benchmarks whose median regressed past ``threshold``."""
+    warnings: list[str] = []
+    base_rows = baseline.get("benchmarks", {})
+    fresh_rows = fresh.get("benchmarks", {})
+    for name in sorted(base_rows.keys() & fresh_rows.keys()):
+        old = base_rows[name].get("median_s")
+        new = fresh_rows[name].get("median_s")
+        if not old or not new or old <= 0:
+            continue
+        ratio = new / old
+        if ratio > threshold:
+            warnings.append(
+                f"::warning title=bench regression::{name} median "
+                f"{new * 1e3:.2f} ms vs baseline {old * 1e3:.2f} ms "
+                f"({ratio:.1f}x, threshold {threshold:.1f}x)"
+            )
+    return warnings
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("baseline", help="committed BENCH_micro.json")
+    parser.add_argument("fresh", help="freshly generated BENCH_micro.json")
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=DEFAULT_THRESHOLD,
+        help=f"regression ratio that triggers a warning (default {DEFAULT_THRESHOLD})",
+    )
+    args = parser.parse_args(argv)
+
+    try:
+        baseline = json.loads(Path(args.baseline).read_text())
+        fresh = json.loads(Path(args.fresh).read_text())
+    except (OSError, json.JSONDecodeError) as exc:
+        # Missing/unreadable reports are not a reason to fail the job.
+        print(f"compare_bench: skipping comparison ({exc})", file=sys.stderr)
+        return 0
+
+    warnings = compare(baseline, fresh, threshold=args.threshold)
+    for line in warnings:
+        print(line)
+    if not warnings:
+        print(
+            f"compare_bench: no benchmark regressed beyond "
+            f"{args.threshold:.1f}x the committed baseline"
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

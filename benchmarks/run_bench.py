@@ -39,9 +39,12 @@ def main(argv: list[str] | None = None) -> int:
     args = parser.parse_args(argv)
 
     def progress(name: str, row: dict) -> None:
+        extra = ""
+        if "events_per_sec" in row:
+            extra = f"  ({row['events_per_sec']:,.0f} events/s)"
         print(
             f"  {name:32s} median {row['median_s'] * 1e3:9.2f} ms"
-            f"  (min {row['min_s'] * 1e3:.2f})"
+            f"  (min {row['min_s'] * 1e3:.2f}){extra}"
         )
 
     print(f"microbench: {args.grid}x{args.grid}, {args.levels} levels, "
@@ -54,6 +57,8 @@ def main(argv: list[str] | None = None) -> int:
     )
     speedup = report["derived"]["ladder_speedup_default_vs_reference"]
     print(f"  ladder speedup (default vs reference): {speedup:.1f}x")
+    blkio = report["derived"]["blkio_stress16_speedup_fast_vs_reference"]
+    print(f"  blkio stress16 speedup (fast vs reference): {blkio:.1f}x")
     path = write_report(report, args.output)
     print(f"report written to {path}")
     return 0

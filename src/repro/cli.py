@@ -425,7 +425,10 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     )
 
     def progress(name: str, row: dict) -> None:
-        print(f"  {name:32s} median {row['median_s'] * 1e3:9.2f} ms")
+        extra = ""
+        if "events_per_sec" in row:
+            extra = f"  ({row['events_per_sec']:,.0f} events/s)"
+        print(f"  {name:32s} median {row['median_s'] * 1e3:9.2f} ms{extra}")
 
     print(f"microbench: {args.grid}x{args.grid}, {args.levels} levels, "
           f"{args.repeats} repeats")
@@ -437,6 +440,8 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     )
     speedup = report["derived"]["ladder_speedup_default_vs_reference"]
     print(f"  ladder speedup (default vs reference): {speedup:.1f}x")
+    blkio = report["derived"]["blkio_stress16_speedup_fast_vs_reference"]
+    print(f"  blkio stress16 speedup (fast vs reference): {blkio:.1f}x")
     path = write_report(report, args.output or repo_root() / BENCH_FILENAME)
     print(f"report written to {path}", file=sys.stderr)
     return 0

@@ -256,6 +256,7 @@ class TangoController:
         self._fit_start_step: int | None = None
         self._steps_since_fit = 0
         self.decisions: list[AdaptationDecision] = []
+        self._obs_cache: tuple | None = None
 
     # -- observation ----------------------------------------------------
 
@@ -355,8 +356,21 @@ class TangoController:
                 target_rung=plan.target_rung,
                 weights=[s.weight for s in plan.steps if s.weight is not None],
             )
+            # Bound instruments cached per registry generation: decide()
+            # runs every analysis step, so the per-call registry lookups
+            # are hoisted (same pattern as the device/blkio hot paths).
             reg = OBS.registry
-            reg.counter("controller.decisions").inc(policy=self.policy.name)
-            reg.gauge("controller.predicted_bw").set(predicted)
-            reg.gauge("controller.target_rung").set(plan.target_rung)
+            cache = self._obs_cache
+            if cache is None or cache[0] is not reg or cache[1] != reg.epoch:
+                cache = (
+                    reg,
+                    reg.epoch,
+                    reg.counter("controller.decisions"),
+                    reg.gauge("controller.predicted_bw"),
+                    reg.gauge("controller.target_rung"),
+                )
+                self._obs_cache = cache
+            cache[2].inc(policy=self.policy.name)
+            cache[3].set(predicted)
+            cache[4].set(plan.target_rung)
         return decision

@@ -186,6 +186,18 @@ class Registry:
 
     def __init__(self) -> None:
         self._metrics: dict[str, _Metric] = {}
+        self._epoch = 0
+
+    @property
+    def epoch(self) -> int:
+        """Generation counter, bumped by :meth:`clear`.
+
+        Hot paths cache bound instruments keyed on ``(registry identity,
+        epoch)``; without the epoch a cleared registry would leave cached
+        handles silently writing to orphaned instruments that no snapshot
+        ever sees.
+        """
+        return self._epoch
 
     def _get_or_create(self, cls: type[_Metric], name: str, help: str, **kwargs) -> _Metric:
         metric = self._metrics.get(name)
@@ -227,6 +239,7 @@ class Registry:
 
     def clear(self) -> None:
         self._metrics.clear()
+        self._epoch += 1
 
     def snapshot(self) -> dict:
         """All instruments as plain data (JSON-serialisable)."""

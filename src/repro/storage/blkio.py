@@ -17,21 +17,53 @@ a stream running at rate ``r`` on a device whose peak for its direction is
 utilisations summing to ≤ 1.  This reproduces the paper's arithmetic —
 e.g. two weight-100 streams on a 200 MB/s device get 100 MB/s each, and
 raising one weight to 200 shifts the split to 133/67 MB/s.
+
+Two implementations share the same semantics:
+
+* :func:`solve_rates` — the hot path.  Structure-of-arrays inputs, scalar
+  fast paths for the dominant one- and two-stream cases, and a vectorised
+  waterfill for larger stream sets (each round classifies every still-
+  active stream in one elementwise comparison).  Sums and surplus
+  subtractions stay in demand order so every float operation matches the
+  reference round-for-round — the result is **bit-identical**, which the
+  pinned scenario fingerprints in ``tests/test_engine.py`` and the parity
+  property tests in ``tests/test_blkio.py`` enforce.
+* :func:`compute_rates_reference` — the original dict-based O(n²)
+  progressive filling, kept as the plain-Python oracle for parity tests
+  and as the pre-fast-path cost model for the scenario benchmarks.
+
+:func:`compute_rates` keeps the historical ``list[StreamDemand] → dict``
+signature as a thin validated wrapper over :func:`solve_rates`.
 """
 
 from __future__ import annotations
 
 import math
 from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
 
 from repro.obs import OBS
 
-__all__ = ["StreamDemand", "compute_rates", "MAX_FLOOR_UTILISATION"]
+__all__ = [
+    "StreamDemand",
+    "compute_rates",
+    "compute_rates_reference",
+    "solve_rates",
+    "MAX_FLOOR_UTILISATION",
+]
 
 #: Writeback floors may reserve at most this fraction of the device:
 #: kernel dirty throttling keeps flushing, but never to the point of
 #: absolute reader starvation.
 MAX_FLOOR_UTILISATION = 0.8
+
+#: Residual utilisation below which filling stops (guards float drift).
+_EPS_REMAINING = 1e-15
+
+#: Relative slack when deciding a stream's share saturates its headroom.
+_CAP_SLACK = 1.0 + 1e-12
 
 
 @dataclass(frozen=True)
@@ -65,14 +97,231 @@ class StreamDemand:
             raise ValueError(f"floor must be finite and >= 0, got {self.floor!r}")
 
 
+# -- cached observability handles -----------------------------------------
+
+#: (registry, registry.epoch, calls, rounds, capped_streams, streams_hist).
+#: ``reg.counter(name)`` is a registry dict lookup; the solver runs once
+#: per reschedule, so the bound instruments are hoisted here and refreshed
+#: only when the registry is swapped or cleared.
+_OBS_HANDLES: tuple | None = None
+
+
+def _obs_handles() -> tuple:
+    global _OBS_HANDLES
+    reg = OBS.registry
+    handles = _OBS_HANDLES
+    if handles is None or handles[0] is not reg or handles[1] != reg.epoch:
+        handles = (
+            reg,
+            reg.epoch,
+            reg.counter("blkio.compute_rates.calls"),
+            reg.counter("blkio.compute_rates.rounds"),
+            reg.counter("blkio.compute_rates.capped_streams"),
+            reg.histogram(
+                "blkio.compute_rates.streams", buckets=(1, 2, 4, 8, 16, 32, 64)
+            ),
+        )
+        _OBS_HANDLES = handles
+    return handles
+
+
+# -- scalar fast paths ------------------------------------------------------
+
+
+def _solve_1(w0: float, p0: float, c0: float, f0: float):
+    m0 = min(c0, p0)
+    fu0 = min(f0, m0) / p0
+    total_floor = fu0
+    if total_floor > MAX_FLOOR_UTILISATION:
+        fu0 = fu0 * (MAX_FLOOR_UTILISATION / total_floor)
+        total_floor = MAX_FLOOR_UTILISATION
+    remaining = 1.0 - total_floor
+    extra = 0.0
+    rounds = 0
+    capped = 0
+    if remaining > _EPS_REMAINING:
+        rounds = 1
+        share = remaining * w0 / w0
+        headroom = max(m0 / p0 - fu0, 0.0)
+        if headroom <= share * _CAP_SLACK:
+            capped = 1
+            extra = headroom
+        else:
+            extra = share
+    return [(fu0 + extra) * p0], rounds, capped
+
+
+def _solve_2(
+    w0: float, p0: float, c0: float, f0: float,
+    w1: float, p1: float, c1: float, f1: float,
+):
+    m0 = min(c0, p0)
+    m1 = min(c1, p1)
+    fu0 = min(f0, m0) / p0
+    fu1 = min(f1, m1) / p1
+    total_floor = fu0 + fu1
+    if total_floor > MAX_FLOOR_UTILISATION:
+        scale = MAX_FLOOR_UTILISATION / total_floor
+        fu0 = fu0 * scale
+        fu1 = fu1 * scale
+        total_floor = MAX_FLOOR_UTILISATION
+    remaining = 1.0 - total_floor
+    e0 = e1 = 0.0
+    rounds = 0
+    capped_total = 0
+    if remaining > _EPS_REMAINING:
+        rounds = 1
+        total_w = w0 + w1
+        s0 = remaining * w0 / total_w
+        s1 = remaining * w1 / total_w
+        h0 = max(m0 / p0 - fu0, 0.0)
+        h1 = max(m1 / p1 - fu1, 0.0)
+        cap0 = h0 <= s0 * _CAP_SLACK
+        cap1 = h1 <= s1 * _CAP_SLACK
+        if not cap0 and not cap1:
+            e0, e1 = s0, s1
+        elif cap0 and cap1:
+            capped_total = 2
+            e0, e1 = h0, h1
+        elif cap0:
+            capped_total = 1
+            e0 = h0
+            remaining = max(remaining - h0, 0.0)
+            if remaining > _EPS_REMAINING:
+                rounds = 2
+                share = remaining * w1 / w1
+                if h1 <= share * _CAP_SLACK:
+                    capped_total = 2
+                    e1 = h1
+                else:
+                    e1 = share
+        else:
+            capped_total = 1
+            e1 = h1
+            remaining = max(remaining - h1, 0.0)
+            if remaining > _EPS_REMAINING:
+                rounds = 2
+                share = remaining * w0 / w0
+                if h0 <= share * _CAP_SLACK:
+                    capped_total = 2
+                    e0 = h0
+                else:
+                    e0 = share
+    return [(fu0 + e0) * p0, (fu1 + e1) * p1], rounds, capped_total
+
+
+# -- vectorised general path ------------------------------------------------
+
+
+def _solve_n(
+    weights: Sequence[float],
+    peaks: Sequence[float],
+    caps: Sequence[float],
+    floors: Sequence[float],
+):
+    w = np.asarray(weights, dtype=np.float64)
+    p = np.asarray(peaks, dtype=np.float64)
+    c = np.asarray(caps, dtype=np.float64)
+    f = np.asarray(floors, dtype=np.float64)
+
+    m = np.minimum(c, p)
+    fu = np.minimum(f, m) / p
+    # Floors sum sequentially (left-to-right, demand order): float addition
+    # is not associative, and bit-parity with the reference requires the
+    # same reduction order, so no np.sum here.
+    total_floor = sum(fu.tolist())
+    if total_floor > MAX_FLOOR_UTILISATION:
+        fu = fu * (MAX_FLOOR_UTILISATION / total_floor)
+        total_floor = MAX_FLOOR_UTILISATION
+    remaining = 1.0 - total_floor
+    headroom = np.maximum(m / p - fu, 0.0)
+
+    extra = np.zeros(len(w))
+    idx = np.arange(len(w))
+    rounds = 0
+    capped_total = 0
+    while idx.size and remaining > _EPS_REMAINING:
+        rounds += 1
+        w_act = w[idx]
+        total_w = sum(w_act.tolist())
+        share = remaining * w_act / total_w
+        capped_mask = headroom[idx] <= share * _CAP_SLACK
+        if not capped_mask.any():
+            extra[idx] = share
+            break
+        capped_total += int(capped_mask.sum())
+        capped_idx = idx[capped_mask]
+        extra[capped_idx] = headroom[capped_idx]
+        for h in headroom[capped_idx].tolist():
+            remaining -= h
+        remaining = max(remaining, 0.0)
+        idx = idx[~capped_mask]
+
+    return ((fu + extra) * p).tolist(), rounds, capped_total
+
+
+def solve_rates(
+    weights: Sequence[float],
+    peak_rates: Sequence[float],
+    caps: Sequence[float],
+    floors: Sequence[float],
+) -> list[float]:
+    """Assign a service rate (bytes/s) to every stream, SoA form.
+
+    Parallel sequences, one entry per stream, pre-validated by the caller
+    (the device layer's invariants already guarantee positive weights and
+    peaks, positive caps, non-negative finite floors).  Returns the rates
+    in input order.  Bit-identical to :func:`compute_rates_reference`.
+    """
+    n = len(weights)
+    if n == 0:
+        return []
+    if n == 1:
+        rates, rounds, capped = _solve_1(weights[0], peak_rates[0], caps[0], floors[0])
+    elif n == 2:
+        rates, rounds, capped = _solve_2(
+            weights[0], peak_rates[0], caps[0], floors[0],
+            weights[1], peak_rates[1], caps[1], floors[1],
+        )
+    else:
+        rates, rounds, capped = _solve_n(weights, peak_rates, caps, floors)
+    if OBS.enabled:
+        _, _, calls, rounds_c, capped_c, streams_h = _obs_handles()
+        calls.inc()
+        rounds_c.inc(rounds)
+        capped_c.inc(capped)
+        streams_h.observe(n)
+    return rates
+
+
 def compute_rates(demands: list[StreamDemand]) -> dict[int, float]:
     """Assign a service rate (bytes/s) to every stream.
 
-    Progressive filling over normalised utilisation: weights share the
-    single unit of device utilisation; a stream's utilisation cap is
-    ``min(cap, peak_rate) / peak_rate``.  Runs in O(n²) worst case (one
-    stream saturates per round), which is negligible at realistic stream
-    counts.
+    The historical entry point: validates key uniqueness, unpacks the
+    demand dataclasses into arrays, and delegates to :func:`solve_rates`.
+    """
+    if not demands:
+        return {}
+    keys = [d.key for d in demands]
+    if len(set(keys)) != len(keys):
+        raise ValueError("stream keys must be unique")
+    rates = solve_rates(
+        [d.weight for d in demands],
+        [d.peak_rate for d in demands],
+        [d.cap for d in demands],
+        [d.floor for d in demands],
+    )
+    return dict(zip(keys, rates))
+
+
+def compute_rates_reference(demands: list[StreamDemand]) -> dict[int, float]:
+    """The original O(n²) progressive-filling allocation (plain dicts).
+
+    Kept verbatim as the oracle for the solver-parity property tests and
+    as the pre-fast-path cost model benchmarked by the ``blkio_stress16``
+    scenario benchmarks.  Progressive filling over normalised utilisation:
+    weights share the single unit of device utilisation; a stream's
+    utilisation cap is ``min(cap, peak_rate) / peak_rate``.
     """
     if not demands:
         return {}
@@ -97,10 +346,7 @@ def compute_rates(demands: list[StreamDemand]) -> dict[int, float]:
     extra: dict[int, float] = {d.key: 0.0 for d in demands}
     active = list(demands)
     remaining_util = 1.0 - total_floor
-    rounds = 0
-    capped_total = 0
-    while active and remaining_util > 1e-15:
-        rounds += 1
+    while active and remaining_util > _EPS_REMAINING:
         total_w = sum(d.weight for d in active)
         capped = []
         uncapped = []
@@ -108,7 +354,7 @@ def compute_rates(demands: list[StreamDemand]) -> dict[int, float]:
             share = remaining_util * d.weight / total_w
             headroom = min(d.cap, d.peak_rate) / d.peak_rate - floor_utils[d.key]
             headroom = max(headroom, 0.0)
-            if headroom <= share * (1 + 1e-12):
+            if headroom <= share * _CAP_SLACK:
                 capped.append((d, headroom))
             else:
                 uncapped.append(d)
@@ -116,20 +362,11 @@ def compute_rates(demands: list[StreamDemand]) -> dict[int, float]:
             for d in active:
                 extra[d.key] = remaining_util * d.weight / total_w
             break
-        capped_total += len(capped)
         for d, headroom in capped:
             extra[d.key] = headroom
             remaining_util -= headroom
         remaining_util = max(remaining_util, 0.0)
         active = uncapped
-    if OBS.enabled:
-        reg = OBS.registry
-        reg.counter("blkio.compute_rates.calls").inc()
-        reg.counter("blkio.compute_rates.rounds").inc(rounds)
-        reg.counter("blkio.compute_rates.capped_streams").inc(capped_total)
-        reg.histogram("blkio.compute_rates.streams", buckets=(1, 2, 4, 8, 16, 32, 64)).observe(
-            len(demands)
-        )
     return {
         d.key: (floor_utils[d.key] + extra[d.key]) * d.peak_rate for d in demands
     }

@@ -101,8 +101,12 @@ class BlkioCgroup:
         self._active_devices.discard(device)
 
     def _notify_devices(self) -> None:
+        # Coalesced: each device marks itself dirty and recomputes once in
+        # a same-timestamp flush, so a burst of weight/throttle writes in
+        # one control step costs one solve per device (and the set's
+        # iteration order stops mattering).
         for dev in list(self._active_devices):
-            dev.reschedule()
+            dev.notify_demand_change()
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<BlkioCgroup {self.name!r} weight={self._weight}>"

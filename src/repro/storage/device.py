@@ -3,11 +3,36 @@
 A :class:`BlockDevice` hosts concurrent I/O streams.  Whenever the stream
 set, a weight, or a throttle changes, the device accrues every stream's
 progress at the old rates, recomputes the allocation via
-:func:`repro.storage.blkio.compute_rates`, and reschedules the next
+:func:`repro.storage.blkio.solve_rates`, and reschedules the next
 completion.  Request setup cost (seeks) is charged up-front as a latency
 phase of ``extents × seek_time`` before the stream joins the bandwidth
 competition — this is what makes the paper's contiguous bucket layout
 faster to retrieve than a fragmented one.
+
+The reschedule path is the simulator's hottest loop, so it avoids
+per-call rebuilding wherever the inputs allow (see "Simulation fast
+path" in ``docs/architecture.md``):
+
+* demand state is kept in structure-of-arrays form — the stream list in
+  demand order plus flat weight/cap/peak/floor sequences assembled
+  without re-validated :class:`~repro.storage.blkio.StreamDemand`
+  dataclasses (device-level invariants already guarantee validity);
+* the solved rate vector is memoized on a demand signature, so a
+  reschedule whose inputs did not change (e.g. a weight written back to
+  its current value) skips the solver entirely;
+* cgroup weight/throttle changes do not recompute inline: they mark the
+  device dirty and a single same-timestamp flush (scheduled at delay 0,
+  deduplicated per device) recomputes once, so a controller adjusting
+  several buckets' weights in one control step triggers one solve, not
+  k.  Progress accrual is unaffected — no simulated time passes between
+  the change and its flush — and same-timestamp readers
+  (:meth:`instantaneous_rate`, :meth:`rates_by_direction`) flush the
+  pending recompute before reporting, so rates are never observed stale.
+
+``fast_path=False`` restores the pre-optimisation cost model (immediate
+per-change reschedules, per-call ``StreamDemand`` construction and the
+dict-based reference solver) — the equivalence baseline for parity tests
+and the ``blkio_stress16`` benchmarks.
 
 Device presets approximate the paper's testbed: an Intel 400 GB SATA SSD
 (fast tier) and a Seagate 2 TB 7200 RPM SAS HDD (capacity tier), plus the
@@ -17,12 +42,12 @@ Seagate 15 k RPM disk used in the Fig. 1 motivation experiment.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import TYPE_CHECKING, Literal
 
 from repro.obs import OBS
 from repro.simkernel import Event, Simulation
-from repro.storage.blkio import StreamDemand, compute_rates
+from repro.storage.blkio import StreamDemand, compute_rates_reference, solve_rates
 from repro.util.units import GiB, TiB, mb_per_s
 from repro.util.validation import check_non_negative, check_positive
 
@@ -165,7 +190,7 @@ class IOStats:
         return self.nbytes / self.elapsed
 
 
-@dataclass
+@dataclass(slots=True)
 class _Stream:
     key: int
     cgroup: "BlkioCgroup"
@@ -176,22 +201,44 @@ class _Stream:
     started_at: float
     event: Event
     rate: float = 0.0
-    last_update: float = field(default=0.0)
 
 
 class BlockDevice:
     """A shared block device driven by the simulation clock."""
 
-    def __init__(self, sim: Simulation, spec: DeviceSpec) -> None:
+    def __init__(self, sim: Simulation, spec: DeviceSpec, *, fast_path: bool = True) -> None:
         self.sim = sim
         self.spec = spec
-        self._streams: dict[int, _Stream] = {}
+        #: When False, every reschedule rebuilds validated StreamDemand
+        #: dataclasses and runs the dict-based reference solver, and
+        #: cgroup changes recompute inline — the pre-optimisation cost
+        #: model (benchmark baseline / parity oracle).
+        self.fast_path = bool(fast_path)
+        self._streams: list[_Stream] = []
         self._next_key = 0
         self._completion_handle = None
         self._speed_factor = 1.0
         self._pending_failures = 0
         #: Total bytes moved, by direction (for utilisation accounting).
         self.bytes_moved: dict[Direction, float] = {"read": 0.0, "write": 0.0}
+        #: Simulated time progress was last accrued to.  Every mutation
+        #: path syncs all streams to the same instant, so one device-level
+        #: timestamp replaces per-stream ``last_update`` fields.
+        self._last_sync = 0.0
+        #: Active-stream count per cgroup: completions decide "last stream
+        #: of this cgroup left" in O(1) instead of scanning every stream.
+        self._cgroup_refs: dict["BlkioCgroup", int] = {}
+        #: Allocation-input generation counter: bumped whenever membership,
+        #: a cgroup attribute, or the speed factor may have changed.
+        self._demand_epoch = 0
+        self._solved_epoch = -1
+        self._solved_sig: tuple | None = None
+        self._solved_rates: list[float] = []
+        #: Coalesced-reschedule state: cgroup changes mark the device
+        #: dirty; one delay-0 flush per device recomputes once.
+        self._dirty = False
+        self._flush_handle = None
+        self._obs_cache: tuple | None = None
 
     @property
     def speed_factor(self) -> float:
@@ -203,7 +250,10 @@ class BlockDevice:
 
         Deterministic fault injection for resilience testing: the failed
         request's event ``fail``s after its seek latency (a media error is
-        only discovered once the head gets there).
+        only discovered once the head gets there).  Injection is a
+        queue-level property: it consumes and fails *every* submitted
+        request in order, including zero-byte requests that would
+        otherwise complete without touching the medium.
         """
         if count < 0:
             raise ValueError(f"count must be >= 0, got {count}")
@@ -223,6 +273,7 @@ class BlockDevice:
         if not 0.0 < factor <= 1.0:
             raise ValueError(f"speed factor must be in (0, 1], got {factor!r}")
         self._speed_factor = float(factor)
+        self._demand_epoch += 1
         self.reschedule()
 
     @property
@@ -247,7 +298,10 @@ class BlockDevice:
 
         ``extents`` is the number of discontiguous runs the request touches
         on the medium: each run costs one ``seek_time`` before the stream
-        joins bandwidth competition.
+        joins bandwidth competition.  Zero-byte requests complete
+        immediately without seeking — unless fault injection is armed, in
+        which case they consume an injected failure like any other request
+        (see :meth:`inject_failures`).
         """
         if nbytes < 0:
             raise ValueError(f"nbytes must be >= 0, got {nbytes}")
@@ -257,16 +311,18 @@ class BlockDevice:
             raise ValueError(f"extents must be >= 1, got {extents}")
         ev = self.sim.event()
         submitted = self.sim.now
-        if nbytes == 0:
-            stats = IOStats(0, submitted, submitted, submitted)
-            self.sim.schedule(0.0, ev.succeed, stats)
-            return ev
         latency = extents * self.spec.seek_time
         if self._pending_failures > 0:
+            # Checked before the zero-byte shortcut: injected failures hit
+            # every submitted request in order, empty ones included.
             self._pending_failures -= 1
             self.sim.schedule(
                 latency, ev.fail, IOError(f"{self.name}: injected media error")
             )
+            return ev
+        if nbytes == 0:
+            stats = IOStats(0, submitted, submitted, submitted)
+            self.sim.schedule(0.0, ev.succeed, stats)
             return ev
         self.sim.schedule(latency, self._start_stream, cgroup, nbytes, direction, submitted, ev)
         return ev
@@ -292,93 +348,242 @@ class BlockDevice:
             submitted_at=submitted_at,
             started_at=self.sim.now,
             event=ev,
-            last_update=self.sim.now,
         )
-        self._streams[key] = stream
-        cgroup._register_active_device(self)
+        self._streams.append(stream)
+        refs = self._cgroup_refs
+        count = refs.get(cgroup, 0)
+        refs[cgroup] = count + 1
+        if count == 0:
+            cgroup._register_active_device(self)
+        self._demand_epoch += 1
         self.reschedule()
 
     def _sync_progress(self) -> None:
         now = self.sim.now
-        for s in self._streams.values():
-            dt = now - s.last_update
-            if dt > 0:
+        dt = now - self._last_sync
+        if dt > 0:
+            bytes_moved = self.bytes_moved
+            for s in self._streams:
                 moved = min(s.rate * dt, s.remaining)
                 s.remaining -= moved
-                self.bytes_moved[s.direction] += moved
-            s.last_update = now
+                bytes_moved[s.direction] += moved
+        self._last_sync = now
+
+    # -- coalesced cgroup-change handling ----------------------------------
+
+    def notify_demand_change(self) -> None:
+        """A cgroup's weight or throttle changed: coalesce the recompute.
+
+        Marks the device dirty and schedules one same-timestamp flush
+        (deduplicated per device), so k weight writes in one control step
+        cost one solve.  No simulated time passes before the flush, so
+        progress accrual is unaffected; same-timestamp readers flush
+        explicitly (see :meth:`instantaneous_rate`).
+        """
+        self._demand_epoch += 1
+        if not self._streams:
+            return
+        if not self.fast_path:
+            self.reschedule()
+            return
+        self._dirty = True
+        if self._flush_handle is None:
+            self._flush_handle = self.sim.schedule(0.0, self._flush)
+
+    def _flush(self) -> None:
+        self._flush_handle = None
+        if self._dirty:
+            self.reschedule()
 
     def reschedule(self) -> None:
         """Accrue progress, recompute rates, schedule the next completion.
 
-        Called on stream start/finish and externally by the cgroup
-        controller when a weight or throttle changes.
+        Called on stream start/finish, on device health changes, and by
+        the coalescing flush after cgroup weight/throttle changes.
         """
+        self._dirty = False
+        if self._flush_handle is not None:
+            self._flush_handle.cancel()
+            self._flush_handle = None
         self._sync_progress()
         self._complete_finished()
         if self._completion_handle is not None:
             self._completion_handle.cancel()
             self._completion_handle = None
-        if not self._streams:
+        streams = self._streams
+        if not streams:
             return
-        directions = {s.direction for s in self._streams.values()}
+        rates = self._solve_fast() if self.fast_path else self._solve_reference()
+        horizon = math.inf
+        for s, rate in zip(streams, rates):
+            s.rate = rate
+            if rate > 0:
+                horizon = min(horizon, s.remaining / rate)
+        if OBS.enabled:
+            handles = self._device_obs()
+            handles[2].inc(device=self.name)
+            handles[3].set(len(streams), device=self.name)
+        if math.isfinite(horizon):
+            self._completion_handle = self.sim.schedule(max(horizon, 0.0), self.reschedule)
+
+    def _solve_fast(self) -> list[float]:
+        """Solver inputs in SoA form, memoized on a demand signature.
+
+        The epoch check skips even input assembly when nothing that feeds
+        the allocation has changed since the last solve; the signature
+        check catches changes that turn out to be no-ops (a weight written
+        back to its current value busts the epoch but not the signature).
+        """
+        if self._demand_epoch == self._solved_epoch:
+            return self._solved_rates
+        streams = self._streams
+        spec = self.spec
+        mixed = False
+        first_dir = streams[0].direction
+        for s in streams:
+            if s.direction != first_dir:
+                mixed = True
+                break
+        efficiency = self._speed_factor * spec.efficiency(len(streams), mixed=mixed)
+        peak_read = spec.read_bw * efficiency
+        peak_write = spec.write_bw * efficiency
+        writeback = spec.writeback_weight
+        write_floor = spec.write_floor_bps
+        weights: list[float] = []
+        peaks: list[float] = []
+        caps: list[float] = []
+        floors: list[float] = []
+        dirs: list[str] = []
+        for s in streams:
+            direction = s.direction
+            cgroup = s.cgroup
+            if direction == "read":
+                weights.append(cgroup.blkio_weight)
+                peaks.append(peak_read)
+                floors.append(0.0)
+            else:
+                weights.append(writeback if writeback is not None else cgroup.blkio_weight)
+                peaks.append(peak_write)
+                floors.append(write_floor)
+            caps.append(cgroup.throttle_bps(self, direction))
+            dirs.append(direction)
+        # peaks/floors are functions of (efficiency, dirs), so the
+        # signature only needs the independent inputs.
+        sig = (efficiency, tuple(dirs), tuple(weights), tuple(caps))
+        if sig == self._solved_sig:
+            self._solved_epoch = self._demand_epoch
+            return self._solved_rates
+        rates = solve_rates(weights, peaks, caps, floors)
+        self._solved_sig = sig
+        self._solved_epoch = self._demand_epoch
+        self._solved_rates = rates
+        return rates
+
+    def _solve_reference(self) -> list[float]:
+        """Pre-optimisation path: validated dataclasses + dict solver."""
+        streams = self._streams
+        directions = {s.direction for s in streams}
         efficiency = self._speed_factor * self.spec.efficiency(
-            len(self._streams), mixed=len(directions) > 1
+            len(streams), mixed=len(directions) > 1
         )
-        wb = self.spec.writeback_weight
+        writeback = self.spec.writeback_weight
         demands = [
             StreamDemand(
                 key=s.key,
-                weight=(wb if (wb is not None and s.direction == "write") else s.cgroup.blkio_weight),
+                weight=(
+                    writeback
+                    if (writeback is not None and s.direction == "write")
+                    else s.cgroup.blkio_weight
+                ),
                 peak_rate=self.spec.peak(s.direction) * efficiency,
                 cap=s.cgroup.throttle_bps(self, s.direction),
                 floor=(self.spec.write_floor_bps if s.direction == "write" else 0.0),
             )
-            for s in self._streams.values()
+            for s in streams
         ]
-        rates = compute_rates(demands)
-        horizon = math.inf
-        for s in self._streams.values():
-            s.rate = rates[s.key]
-            if s.rate > 0:
-                horizon = min(horizon, s.remaining / s.rate)
-        if OBS.enabled:
-            reg = OBS.registry
-            reg.counter("device.reschedules").inc(device=self.name)
-            reg.gauge("device.active_streams").set(len(self._streams), device=self.name)
-        if math.isfinite(horizon):
-            self._completion_handle = self.sim.schedule(max(horizon, 0.0), self.reschedule)
+        rates = compute_rates_reference(demands)
+        return [rates[s.key] for s in streams]
 
     def _complete_finished(self) -> None:
-        finished = [s for s in self._streams.values() if s.remaining <= _COMPLETION_EPS]
+        finished = [s for s in self._streams if s.remaining <= _COMPLETION_EPS]
+        if not finished:
+            return
+        self._streams = [s for s in self._streams if s.remaining > _COMPLETION_EPS]
+        self._demand_epoch += 1
+        refs = self._cgroup_refs
+        now = self.sim.now
+        obs_enabled = OBS.enabled
+        handles = self._device_obs() if obs_enabled else None
         for s in finished:
             self.bytes_moved[s.direction] += s.remaining
             s.remaining = 0.0
-            del self._streams[s.key]
-            if not any(t.cgroup is s.cgroup for t in self._streams.values()):
+            count = refs[s.cgroup] - 1
+            if count:
+                refs[s.cgroup] = count
+            else:
+                del refs[s.cgroup]
                 s.cgroup._unregister_active_device(self)
             stats = IOStats(
                 nbytes=s.nbytes,
                 submitted_at=s.submitted_at,
                 started_at=s.started_at,
-                finished_at=self.sim.now,
+                finished_at=now,
             )
-            if OBS.enabled:
-                reg = OBS.registry
-                reg.counter("device.completions").inc(
-                    device=self.name, direction=s.direction
-                )
-                reg.counter("device.bytes_completed").inc(
-                    s.nbytes, device=self.name, direction=s.direction
-                )
-                reg.histogram("device.service_time").observe(
+            if obs_enabled:
+                handles[4].inc(device=self.name, direction=s.direction)
+                handles[5].inc(s.nbytes, device=self.name, direction=s.direction)
+                handles[6].observe(
                     stats.service_time, device=self.name, direction=s.direction
                 )
             s.event.succeed(stats)
 
+    def _device_obs(self) -> tuple:
+        """Bound metric instruments, cached against the live registry.
+
+        ``reg.counter(name)`` costs a registry lookup per event; the
+        handles are rebuilt only when the registry object is swapped or
+        cleared (tracked via ``Registry.epoch``).
+        """
+        reg = OBS.registry
+        cache = self._obs_cache
+        if cache is None or cache[0] is not reg or cache[1] != reg.epoch:
+            cache = (
+                reg,
+                reg.epoch,
+                reg.counter("device.reschedules"),
+                reg.gauge("device.active_streams"),
+                reg.counter("device.completions"),
+                reg.counter("device.bytes_completed"),
+                reg.histogram("device.service_time"),
+            )
+            self._obs_cache = cache
+        return cache
+
+    # -- introspection -----------------------------------------------------
+
     def instantaneous_rate(self, cgroup: "BlkioCgroup") -> float:
         """Current aggregate service rate of a cgroup's streams (bytes/s)."""
-        return sum(s.rate for s in self._streams.values() if s.cgroup is cgroup)
+        if self._dirty:
+            self.reschedule()
+        return sum(s.rate for s in self._streams if s.cgroup is cgroup)
+
+    def rates_by_direction(self) -> tuple[float, float]:
+        """Aggregate instantaneous (read, write) service rates (bytes/s).
+
+        Flushes any pending coalesced recompute first, so a sampler firing
+        at the same timestamp as a weight change observes the post-change
+        rates — exactly what the immediate-reschedule path reported.
+        """
+        if self._dirty:
+            self.reschedule()
+        read_rate = 0.0
+        write_rate = 0.0
+        for s in self._streams:
+            if s.direction == "read":
+                read_rate += s.rate
+            else:
+                write_rate += s.rate
+        return read_rate, write_rate
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<BlockDevice {self.name} streams={len(self._streams)}>"

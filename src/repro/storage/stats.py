@@ -70,13 +70,13 @@ class DeviceSampler:
         return self._running
 
     def _tick(self) -> None:
-        rates = {"read": 0.0, "write": 0.0}
-        for stream in self.device._streams.values():
-            rates[stream.direction] += stream.rate
+        # rates_by_direction flushes any pending coalesced reschedule, so
+        # a tick landing on a weight change's timestamp sees fresh rates.
+        read_rate, write_rate = self.device.rates_by_direction()
         sample = DeviceSample(
             time=self.sim.now,
-            read_rate=rates["read"],
-            write_rate=rates["write"],
+            read_rate=read_rate,
+            write_rate=write_rate,
             active_streams=self.device.active_stream_count,
         )
         self.samples.append(sample)

@@ -6,7 +6,13 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.storage.blkio import MAX_FLOOR_UTILISATION, StreamDemand, compute_rates
+from repro.storage.blkio import (
+    MAX_FLOOR_UTILISATION,
+    StreamDemand,
+    compute_rates,
+    compute_rates_reference,
+    solve_rates,
+)
 
 PEAK = 200e6
 
@@ -195,3 +201,50 @@ class TestAllocationInvariants:
         total_w = 100 * len(floors) + reader_weight
         reader_share = (1.0 - MAX_FLOOR_UTILISATION) * PEAK * reader_weight / total_w
         assert rates[reader.key] >= reader_share - 1e-6
+
+
+_demand_strategy = st.builds(
+    dict,
+    weight=st.floats(1, 1000),
+    peak=st.sampled_from([70e6, 140e6, 200e6, 500e6]),
+    cap=st.one_of(st.just(math.inf), st.floats(1e6, 3e8)),
+    floor=st.one_of(st.just(0.0), st.floats(0.0, 2e8)),
+)
+
+
+class TestSolverParity:
+    """The vectorized solver must be *bit-identical* to the reference.
+
+    The pinned scenario fingerprints in ``tests/test_engine.py`` depend on
+    every allocated rate matching the pre-optimisation dict solver to the
+    last ulp — ``==``, not ``approx``.
+    """
+
+    @given(specs=st.lists(_demand_strategy, min_size=1, max_size=12))
+    @settings(max_examples=150, deadline=None)
+    def test_property_bit_identical_to_reference(self, specs):
+        demands = [
+            d(i, s["weight"], peak=s["peak"], cap=s["cap"], floor=s["floor"])
+            for i, s in enumerate(specs)
+        ]
+        assert compute_rates(demands) == compute_rates_reference(demands)
+
+    @pytest.mark.parametrize("n", [1, 2, 3])
+    def test_scalar_fast_paths_match_reference(self, n):
+        """n=1 and n=2 dispatch to branch-free scalar paths; n=3 to numpy."""
+        demands = [d(i, 100 + 50 * i, cap=(50e6 if i == 0 else math.inf)) for i in range(n)]
+        assert compute_rates(demands) == compute_rates_reference(demands)
+
+    def test_solve_rates_positional_form_matches_wrapper(self):
+        demands = [d(0, 200, floor=20e6), d(1, 100, cap=60e6), d(2, 300)]
+        rates = solve_rates(
+            [dm.weight for dm in demands],
+            [dm.peak_rate for dm in demands],
+            [dm.cap for dm in demands],
+            [dm.floor for dm in demands],
+        )
+        by_key = compute_rates(demands)
+        assert rates == [by_key[dm.key] for dm in demands]
+
+    def test_empty_solve(self):
+        assert solve_rates([], [], [], []) == []
