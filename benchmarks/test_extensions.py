@@ -35,7 +35,8 @@ def test_extension_churn(benchmark, emit):
     from repro.core.abplot import AugmentationBandwidthPlot
     from repro.core.controller import TangoController, make_policy
     from repro.experiments.config import DEFAULTS
-    from repro.experiments.runner import build_ladder_for_app, make_weight_function
+    from repro.engine.session import make_weight_function
+    from repro.experiments.runner import build_ladder_for_app
     from repro.apps import make_app
     from repro.simkernel import Simulation
     from repro.storage.staging import stage_dataset
@@ -59,7 +60,7 @@ def test_extension_churn(benchmark, emit):
             grid_shape=DEFAULTS.grid_shape,
             decimation_ratio=DEFAULTS.decimation_ratio,
             metric=ScenarioConfig().metric,
-            bounds=ScenarioConfig().ladder_bounds,
+            error_bounds=ScenarioConfig().error_bounds,
             seed=seed,
         )
         dataset = stage_dataset("data", ladder, storage, size_scale=DEFAULTS.size_scale)
@@ -67,7 +68,7 @@ def test_extension_churn(benchmark, emit):
         controller = TangoController(
             ladder,
             make_policy(policy, wf),
-            AugmentationBandwidthPlot(DEFAULTS.bw_low, DEFAULTS.bw_high),
+            AugmentationBandwidthPlot(bw_low=DEFAULTS.bw_low, bw_high=DEFAULTS.bw_high),
             prescribed_bound=ladder.base_error,  # no error control, like Fig 8
             priority=10.0,
         )
@@ -196,7 +197,7 @@ def test_extension_multitenant_fairness(benchmark, emit):
             TenantSpec("high", priority=10.0, prescribed_bound=0.001, seed=3),
         ]
         cfg = ScenarioConfig(max_steps=40, decimation_ratio=256,
-                             ladder_bounds=(0.1, 0.01, 0.001))
+                             error_bounds=(0.1, 0.01, 0.001))
         return run_multi_scenario(tenants, cfg)
 
     res = benchmark.pedantic(run, rounds=1, iterations=1)
@@ -270,7 +271,7 @@ def test_extension_rung_granularity(benchmark, emit):
                 cfg = ScenarioConfig(
                     policy="cross-layer",
                     decimation_ratio=256,
-                    ladder_bounds=bounds,
+                    error_bounds=bounds,
                     prescribed_bound=0.001,
                     max_steps=50,
                     seed=seed,

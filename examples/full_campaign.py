@@ -11,7 +11,7 @@ baseline drowns.
 Run:  python examples/full_campaign.py
 """
 
-from repro.experiments.campaign import CampaignConfig, run_campaign
+from repro.api import CampaignConfig, run_campaign
 from repro.workloads.churn import ChurnSpec
 
 

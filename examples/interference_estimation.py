@@ -13,7 +13,7 @@ Run:  python examples/interference_estimation.py
 import numpy as np
 
 from repro.core.estimator import DFTEstimator, LastValueEstimator, MeanEstimator
-from repro.experiments import ScenarioConfig, run_scenario
+from repro.api import ScenarioConfig, run_scenario
 
 
 def main() -> None:

@@ -22,7 +22,7 @@ from repro.core import (
 from repro.apps import make_app
 from repro.core.refactor import levels_for_decimation
 from repro.experiments.config import DEFAULTS
-from repro.experiments.runner import make_weight_function
+from repro.api import make_weight_function
 from repro.simkernel import Simulation
 from repro.storage.staging import stage_dataset
 from repro.storage.tier import TieredStorage
@@ -36,7 +36,7 @@ def main() -> None:
     runtime = ContainerRuntime(sim)
     launch_noise(runtime, storage.slowest, TABLE_IV_NOISE, seed=11)
 
-    abplot = AugmentationBandwidthPlot(DEFAULTS.bw_low, DEFAULTS.bw_high)
+    abplot = AugmentationBandwidthPlot(bw_low=DEFAULTS.bw_low, bw_high=DEFAULTS.bw_high)
     drivers = {}
     # Both jobs analyse identically-sized datasets (same field, own copy),
     # so the only difference between them is the priority term.

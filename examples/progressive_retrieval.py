@@ -13,9 +13,16 @@ Run:  python examples/progressive_retrieval.py
 
 from repro.apps import make_app
 from repro.apps.xgc import detect_blobs
-from repro.core import ErrorMetric, build_ladder, decompose, nrmse
-from repro.core.refactor import levels_for_decimation
-from repro.core.serialize import pack_ladder, payload_size_through, unpack_partial
+from repro.api import (
+    ErrorMetric,
+    build_ladder,
+    decompose,
+    levels_for_decimation,
+    nrmse,
+    pack_ladder,
+    unpack_partial,
+)
+from repro.core.serialize import payload_size_through
 
 
 def main() -> None:

@@ -10,8 +10,14 @@ Run:  python examples/quickstart.py
 """
 
 from repro.apps import make_app
-from repro.core import ErrorMetric, build_ladder, decompose, nrmse
-from repro.experiments import ScenarioConfig, run_scenario
+from repro.api import (
+    ErrorMetric,
+    ScenarioConfig,
+    build_ladder,
+    decompose,
+    nrmse,
+    run_scenario,
+)
 
 
 def main() -> None:

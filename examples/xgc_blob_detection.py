@@ -13,9 +13,14 @@ Run:  python examples/xgc_blob_detection.py
 
 from repro.apps import make_app
 from repro.apps.xgc import detect_blobs
-from repro.core import ErrorMetric, build_ladder, decompose
-from repro.core.refactor import levels_for_decimation
-from repro.experiments import ScenarioConfig, run_scenario
+from repro.api import (
+    ErrorMetric,
+    ScenarioConfig,
+    build_ladder,
+    decompose,
+    levels_for_decimation,
+    run_scenario,
+)
 
 
 def main() -> None:

@@ -1,0 +1,132 @@
+"""The blessed public surface of the reproduction, in one import.
+
+Everything a script needs — the paper's core pipeline, the scenario
+engine, the experiment entry points, and the resilience layer — is
+re-exported here under its canonical name::
+
+    from repro.api import ScenarioConfig, run_scenario
+
+    result = run_scenario(ScenarioConfig(policy="cross-layer", faults="chaos"))
+    print(result.total_skipped_objects, result.mode_transitions)
+
+The deep import paths (``repro.core.error_control.build_ladder``, …)
+keep working, but only the names below are covered by the deprecation
+policy: renames leave a warning shim behind for one release (see
+``docs/api-guide.md`` for the migration table).  Import of this module
+is intentionally eager — it *is* the compatibility surface, so breaking
+it breaks loudly at import time rather than at first use.
+"""
+
+from __future__ import annotations
+
+# -- core pipeline: refactor -> ladder -> serialize ------------------------
+from repro.core.abplot import AugmentationBandwidthPlot
+from repro.core.controller import AdaptationDecision, TangoController, make_policy
+from repro.core.error_control import AccuracyLadder, ErrorMetric, build_ladder
+from repro.core.estimator import DFTEstimator
+from repro.core.metrics import nrmse, psnr
+from repro.core.refactor import Decomposition, decompose, levels_for_decimation
+from repro.core.serialize import pack_ladder, unpack_ladder, unpack_partial
+from repro.core.weights import WeightFunction, calibrate_weight_function
+
+# -- scenario engine -------------------------------------------------------
+from repro.engine.registry import (
+    APPS,
+    ESTIMATORS,
+    FAULT_CAMPAIGNS,
+    PLACEMENTS,
+    POLICIES,
+    STORAGE_PRESETS,
+    register_app,
+    register_estimator,
+    register_fault_campaign,
+    register_placement,
+    register_policy,
+    register_storage_preset,
+)
+from repro.engine.session import ScenarioSession, make_weight_function
+from repro.engine.sweep import ScenarioSummary, SweepExecutor
+
+# -- experiments -----------------------------------------------------------
+from repro.experiments.campaign import CampaignConfig, CampaignResult, run_campaign
+from repro.experiments.config import ScenarioConfig
+from repro.experiments.resilience import ResilienceResult, run_resilience
+from repro.experiments.runner import ScenarioResult, run_scenario
+
+# -- resilience layer ------------------------------------------------------
+from repro.faults import (
+    DEFAULT_RETRY_POLICY,
+    DegradationPolicy,
+    DeviceStall,
+    ErrorBurst,
+    FaultCampaign,
+    FaultInjector,
+    FeedCorruption,
+    RetryPolicy,
+    SpeedRamp,
+    SpeedStep,
+)
+
+# -- observability ---------------------------------------------------------
+from repro.obs import OBS
+
+__all__ = [
+    # core pipeline
+    "AccuracyLadder",
+    "AdaptationDecision",
+    "AugmentationBandwidthPlot",
+    "DFTEstimator",
+    "Decomposition",
+    "ErrorMetric",
+    "TangoController",
+    "WeightFunction",
+    "build_ladder",
+    "calibrate_weight_function",
+    "decompose",
+    "levels_for_decimation",
+    "make_policy",
+    "nrmse",
+    "pack_ladder",
+    "psnr",
+    "unpack_ladder",
+    "unpack_partial",
+    # scenario engine
+    "APPS",
+    "ESTIMATORS",
+    "FAULT_CAMPAIGNS",
+    "PLACEMENTS",
+    "POLICIES",
+    "STORAGE_PRESETS",
+    "ScenarioSession",
+    "ScenarioSummary",
+    "SweepExecutor",
+    "make_weight_function",
+    "register_app",
+    "register_estimator",
+    "register_fault_campaign",
+    "register_placement",
+    "register_policy",
+    "register_storage_preset",
+    # experiments
+    "CampaignConfig",
+    "CampaignResult",
+    "ResilienceResult",
+    "ScenarioConfig",
+    "ScenarioResult",
+    "run_campaign",
+    "run_resilience",
+    "run_scenario",
+    # resilience layer
+    "DEFAULT_RETRY_POLICY",
+    "DegradationPolicy",
+    "DeviceStall",
+    "ErrorBurst",
+    "FaultCampaign",
+    "FaultInjector",
+    "FeedCorruption",
+    "RetryPolicy",
+    "SpeedRamp",
+    "SpeedStep",
+    # observability
+    "OBS",
+]

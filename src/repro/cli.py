@@ -133,6 +133,12 @@ def _campaign(fast: bool, workers=1):
     )
 
 
+def _resilience(fast: bool, workers=1):
+    from repro.experiments.resilience import run_resilience
+
+    return run_resilience(max_steps=20 if fast else 40)
+
+
 #: Regenerable paper artifacts: name -> callable(fast, workers=1).
 #: ``workers`` fans grid sweeps out over a SweepExecutor process pool
 #: where the underlying figure supports it; the rest ignore it.
@@ -153,6 +159,7 @@ FIGURES: dict[str, Callable[..., object]] = {
     "headline": _headline,
     "threetier": _threetier,
     "campaign": _campaign,
+    "resilience": _resilience,
 }
 
 
@@ -212,7 +219,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     # Choices come from the engine registries, so plugged-in components
     # (registered before build_parser is called) are selectable here too.
-    from repro.engine.registry import APPS, ESTIMATORS, POLICIES
+    from repro.engine.registry import APPS, ESTIMATORS, FAULT_CAMPAIGNS, POLICIES
 
     sc = sub.add_parser("scenario", help="run one single-node scenario")
     sc.add_argument("--app", default="xgc", choices=APPS.names())
@@ -223,6 +230,12 @@ def build_parser() -> argparse.ArgumentParser:
     sc.add_argument("--bound", type=float, default=0.01, help="prescribed NRMSE bound")
     sc.add_argument("--noises", type=int, default=6, help="number of Table IV noises")
     sc.add_argument("--estimator", default="dft", choices=ESTIMATORS.names())
+    sc.add_argument(
+        "--faults",
+        default=None,
+        choices=FAULT_CAMPAIGNS.names(),
+        help="arm a registered fault campaign (seeded from --seed)",
+    )
     sc.add_argument("--csv", metavar="PATH", help="write the per-step trace as CSV")
     sc.add_argument("--json", action="store_true", help="print a JSON summary")
     sc.add_argument(
@@ -305,6 +318,7 @@ def _cmd_scenario(args: argparse.Namespace) -> int:
         prescribed_bound=args.bound,
         noise=TABLE_IV_NOISE[: args.noises],
         estimator=args.estimator,
+        faults=args.faults,
     )
     obs_on = _obs_begin(args)
     try:
@@ -321,6 +335,11 @@ def _cmd_scenario(args: argparse.Namespace) -> int:
         print(f"  mean rung     : {result.mean_target_rung:.2f} / {result.ladder.num_buckets}")
         print(f"  outcome error : {result.mean_outcome_error:.4f}")
         print(f"  weight moves  : {len(result.weight_history)}")
+        if args.faults:
+            print(f"  read errors   : {result.total_read_errors}")
+            print(f"  skipped objs  : {result.total_skipped_objects} "
+                  f"({len(result.degraded_steps)} degraded steps)")
+            print(f"  mode moves    : {len(result.mode_transitions)}")
     if args.sparkline:
         from repro.experiments.report import sparkline
 

@@ -31,6 +31,13 @@ from repro.core.estimator import BandwidthEstimator, DFTEstimator
 from repro.core.recompose import RecompositionPlan, plan_recomposition
 from repro.core.weights import WeightFunction, calibrate_weight_function
 from repro.engine.registry import POLICIES, register_policy
+from repro.faults.degradation import (
+    CONTROLLER_MODES,
+    MODE_LAST_GOOD,
+    MODE_NORMAL,
+    MODE_WEIGHTS_ONLY,
+    DegradationPolicy,
+)
 from repro.obs import OBS
 
 __all__ = [
@@ -56,6 +63,9 @@ class AdaptationDecision:
     plan: RecompositionPlan
     predicted_bw: float
     estimator_fitted: bool
+    #: Degradation-ladder mode this decision was made in (see
+    #: :mod:`repro.faults.degradation`); ``"normal"`` on the happy path.
+    mode: str = MODE_NORMAL
 
     @property
     def target_rung(self) -> int:
@@ -113,7 +123,12 @@ class Policy:
         predicted_bw: float,
         abplot: AugmentationBandwidthPlot,
         priority: float,
+        *,
+        adaptive: bool | None = None,
     ) -> RecompositionPlan:
+        """Plan a retrieval.  ``adaptive`` overrides the policy's own
+        application-layer adaptivity (the controller's weights-only
+        degradation mode forces full retrieval regardless of policy)."""
         return plan_recomposition(
             ladder,
             prescribed_bound,
@@ -121,7 +136,7 @@ class Policy:
             abplot,
             weight_fn=self.weight_fn,
             priority=priority,
-            adaptive=self.app_adaptive,
+            adaptive=self.app_adaptive if adaptive is None else adaptive,
             weight_cardinality=self.weight_cardinality,
         )
 
@@ -199,6 +214,9 @@ def make_policy(
 class _HistoryEntry:
     step: int
     bandwidth: float
+    #: False for samples rejected as feed corruption (NaN, negative,
+    #: implausible outlier); invalid samples never feed the estimator.
+    valid: bool = True
 
 
 class TangoController:
@@ -222,6 +240,14 @@ class TangoController:
     optimistic_bw:
         Prediction used before the estimator has enough history (defaults
         to the abplot's ``bw_high`` — retrieve fully until told otherwise).
+    degradation:
+        Graceful-degradation thresholds (see
+        :class:`repro.faults.degradation.DegradationPolicy`).  When set,
+        non-finite/negative/outlier samples are *recorded as invalid*
+        instead of raising, and sustained feed corruption walks the
+        controller down its fallback ladder (last-good → static midpoint
+        → weights-only).  ``None`` (the default) keeps the strict legacy
+        contract: a bad sample raises :class:`ValueError`.
     """
 
     def __init__(
@@ -237,6 +263,7 @@ class TangoController:
         min_history: int = 8,
         history_window: int = 256,
         optimistic_bw: float | None = None,
+        degradation: DegradationPolicy | None = None,
     ) -> None:
         if estimation_interval < 1:
             raise ValueError(f"estimation_interval must be >= 1, got {estimation_interval}")
@@ -252,39 +279,102 @@ class TangoController:
         self.min_history = int(min_history)
         self.history_window = int(history_window)
         self.optimistic_bw = float(optimistic_bw if optimistic_bw is not None else abplot.bw_high)
+        self.degradation = degradation
         self._history: list[_HistoryEntry] = []
+        self._valid_count = 0
+        self._invalid_streak = 0
+        self._valid_streak = 0
         self._fit_start_step: int | None = None
         self._steps_since_fit = 0
+        self._mode = MODE_NORMAL
+        self._last_good_prediction: float | None = None
+        #: ``(step, from_mode, to_mode)`` degradation-ladder transitions.
+        self.mode_history: list[tuple[int, str, str]] = []
         self.decisions: list[AdaptationDecision] = []
         self._obs_cache: tuple | None = None
 
+    @property
+    def mode(self) -> str:
+        """Current degradation-ladder mode (``"normal"`` on the happy path)."""
+        return self._mode
+
     # -- observation ----------------------------------------------------
 
-    def observe(self, step: int, measured_bw: float) -> None:
-        """Record the achieved bandwidth of one completed analysis step."""
+    def _sample_valid(self, measured_bw: float) -> bool:
         if not np.isfinite(measured_bw) or measured_bw < 0:
-            raise ValueError(f"measured_bw must be finite and >= 0, got {measured_bw!r}")
+            return False
+        assert self.degradation is not None
+        return measured_bw <= self.degradation.outlier_factor * self.abplot.bw_high
+
+    def observe(self, step: int, measured_bw: float) -> None:
+        """Record the achieved bandwidth of one completed analysis step.
+
+        Without a degradation policy, a non-finite or negative sample is a
+        programming error and raises.  With one, bad samples (including
+        implausible outliers beyond ``outlier_factor × bw_high``) are
+        recorded as *invalid* — kept in the history for bookkeeping but
+        never fed to the estimator — and drive the fallback ladder.
+        """
+        if self.degradation is None:
+            if not np.isfinite(measured_bw) or measured_bw < 0:
+                raise ValueError(
+                    f"measured_bw must be finite and >= 0, got {measured_bw!r}"
+                )
+            valid = True
+        else:
+            valid = self._sample_valid(measured_bw)
         if self._history and step <= self._history[-1].step:
             raise ValueError(
                 f"steps must be strictly increasing, got {step} after "
                 f"{self._history[-1].step}"
             )
-        self._history.append(_HistoryEntry(step=step, bandwidth=float(measured_bw)))
+        self._history.append(
+            _HistoryEntry(step=step, bandwidth=float(measured_bw), valid=valid)
+        )
+        if valid:
+            self._valid_count += 1
+            self._valid_streak += 1
+            self._invalid_streak = 0
+        else:
+            self._invalid_streak += 1
+            self._valid_streak = 0
+            if OBS.enabled:
+                OBS.registry.counter("controller.invalid_samples").inc(
+                    policy=self.policy.name
+                )
+                OBS.tracer.event(
+                    "controller.invalid_sample",
+                    step=step,
+                    measured_bw=None if not np.isfinite(measured_bw) else float(measured_bw),
+                    invalid_streak=self._invalid_streak,
+                )
 
     @property
     def history(self) -> np.ndarray:
         return np.asarray([h.bandwidth for h in self._history])
 
+    def _valid_window(self) -> list[_HistoryEntry]:
+        """The trailing ``history_window`` *valid* observations."""
+        if self._valid_count == len(self._history):
+            return self._history[-self.history_window :]
+        window: list[_HistoryEntry] = []
+        for h in reversed(self._history):
+            if h.valid:
+                window.append(h)
+                if len(window) == self.history_window:
+                    break
+        window.reverse()
+        return window
+
     # -- estimation -------------------------------------------------------
 
     def _maybe_refit(self) -> None:
-        n = len(self._history)
-        if n < self.min_history:
+        if self._valid_count < self.min_history:
             return
         due = self._fit_start_step is None or self._steps_since_fit >= self.estimation_interval
         if not due:
             return
-        window = self._history[-self.history_window :]
+        window = self._valid_window()
         self.estimator.fit(np.asarray([h.bandwidth for h in window]))
         self._fit_start_step = window[0].step
         self._steps_since_fit = 0
@@ -296,8 +386,11 @@ class TangoController:
             rel = step - self._fit_start_step
             pred = float(self.estimator.predict(rel))
             return max(pred, 0.0), True
-        if self._history:
-            return float(np.mean([h.bandwidth for h in self._history])), False
+        if self._valid_count:
+            return (
+                float(np.mean([h.bandwidth for h in self._history if h.valid])),
+                False,
+            )
         return self.optimistic_bw, False
 
     # -- decision ----------------------------------------------------------
@@ -313,7 +406,9 @@ class TangoController:
         if not self.estimator.is_fitted or self._fit_start_step is None:
             return {"fitted": 0.0, "mae": float("nan"), "relative_mae": float("nan")}
         window = [
-            h.bandwidth for h in self._history if h.step >= self._fit_start_step
+            h.bandwidth
+            for h in self._history
+            if h.valid and h.step >= self._fit_start_step
         ][: self.history_window]
         if not window:
             return {"fitted": 1.0, "mae": float("nan"), "relative_mae": float("nan")}
@@ -327,9 +422,71 @@ class TangoController:
             "relative_mae": mae / mean if mean > 0 else float("inf"),
         }
 
+    def _select_mode(self) -> str:
+        """The degradation-ladder mode for the next decision.
+
+        The invalid-sample streak mandates a depth; a currently degraded
+        controller additionally *holds* its mode until ``recovery_samples``
+        consecutive valid samples arrive (hysteresis — one good sample in
+        the middle of a blackout must not bounce the mode).  The deeper of
+        the two wins.
+        """
+        pol = self.degradation
+        if pol is None:
+            return MODE_NORMAL
+        mandated = pol.mode_for_streak(self._invalid_streak)
+        held = MODE_NORMAL
+        if self._mode != MODE_NORMAL and self._valid_streak < pol.recovery_samples:
+            held = self._mode
+        if CONTROLLER_MODES.index(mandated) >= CONTROLLER_MODES.index(held):
+            return mandated
+        return held
+
+    def _transition_mode(self, step: int, new_mode: str) -> None:
+        if new_mode == self._mode:
+            return
+        old = self._mode
+        self._mode = new_mode
+        self.mode_history.append((step, old, new_mode))
+        if OBS.enabled:
+            OBS.registry.counter("controller.mode_transitions").inc(
+                policy=self.policy.name, to=new_mode
+            )
+            OBS.tracer.event(
+                "controller.mode_transition",
+                step=step,
+                from_mode=old,
+                to_mode=new_mode,
+                invalid_streak=self._invalid_streak,
+            )
+
     def decide(self, step: int) -> AdaptationDecision:
-        """Produce the plan (rungs + weights) for analysis step ``step``."""
-        predicted, fitted = self.predict_bandwidth(step)
+        """Produce the plan (rungs + weights) for analysis step ``step``.
+
+        With a degradation policy attached, the prediction source follows
+        the fallback ladder: ``normal`` uses the estimator, ``last-good``
+        holds the last healthy prediction, ``static-midpoint`` and
+        ``weights-only`` pin the abplot midpoint, and ``weights-only``
+        additionally forces a full (non-adaptive) retrieval plan.
+        """
+        self._transition_mode(step, self._select_mode())
+        mode = self._mode
+        adaptive_override: bool | None = None
+        if mode == MODE_NORMAL:
+            predicted, fitted = self.predict_bandwidth(step)
+            self._last_good_prediction = predicted
+        elif mode == MODE_LAST_GOOD:
+            fitted = False
+            predicted = (
+                self._last_good_prediction
+                if self._last_good_prediction is not None
+                else self.optimistic_bw
+            )
+        else:  # static-midpoint / weights-only
+            fitted = False
+            predicted = 0.5 * (self.abplot.bw_low + self.abplot.bw_high)
+            if mode == MODE_WEIGHTS_ONLY:
+                adaptive_override = False
         self._steps_since_fit += 1
         plan = self.policy.plan(
             self.ladder,
@@ -337,9 +494,14 @@ class TangoController:
             predicted,
             self.abplot,
             self.priority,
+            adaptive=adaptive_override,
         )
         decision = AdaptationDecision(
-            step=step, plan=plan, predicted_bw=predicted, estimator_fitted=fitted
+            step=step,
+            plan=plan,
+            predicted_bw=predicted,
+            estimator_fitted=fitted,
+            mode=mode,
         )
         self.decisions.append(decision)
         if OBS.enabled:
@@ -348,6 +510,7 @@ class TangoController:
                 "controller.decision",
                 step=step,
                 policy=self.policy.name,
+                mode=mode,
                 predicted_bw=predicted,
                 estimator_fitted=fitted,
                 augmentation_degree=plan.augmentation_degree,

@@ -33,6 +33,7 @@ import numpy as np
 
 from repro.core import metrics as _metrics
 from repro.core.refactor import Decomposition, recompose_full
+from repro.util.validation import pop_renamed
 
 __all__ = [
     "ErrorMetric",
@@ -408,14 +409,19 @@ LADDER_METHODS = ("hybrid", "measured", "analytic", "reference")
 
 def build_ladder(
     dec: Decomposition,
-    bounds: list[float],
+    error_bounds: list[float] | None = None,
     metric: ErrorMetric = ErrorMetric.NRMSE,
     *,
     search_grid: int = 24,
     method: str = "hybrid",
     original: np.ndarray | None = None,
+    **legacy,
 ) -> AccuracyLadder:
     """Construct an :class:`AccuracyLadder` realising each error bound.
+
+    ``error_bounds`` is the canonical spelling (the legacy ``bounds=``
+    keyword still works with a deprecation warning; positional callers
+    are unaffected).
 
     ``method="hybrid"`` (default): the measured search below, but seeded —
     the analytic residual-energy proxy brackets each rung's cut and a
@@ -455,6 +461,10 @@ def build_ladder(
     memo, and the benchmarks rebuild ladders for the same decomposition
     under many bound sets.
     """
+    error_bounds = pop_renamed(
+        error_bounds, legacy, old="bounds", new="error_bounds", context="build_ladder"
+    )
+    bounds = error_bounds
     if method not in LADDER_METHODS:
         raise ValueError(
             f"method must be one of {LADDER_METHODS}, got {method!r}"

@@ -155,6 +155,8 @@ class MeanEstimator(BandwidthEstimator):
         history = np.asarray(history, dtype=np.float64)
         if history.size == 0:
             raise ValueError("history must be non-empty")
+        if not np.all(np.isfinite(history)):
+            raise ValueError("history contains non-finite samples")
         self._mean = float(history.mean())
         return self
 
@@ -180,6 +182,8 @@ class LastValueEstimator(BandwidthEstimator):
         history = np.asarray(history, dtype=np.float64)
         if history.size == 0:
             raise ValueError("history must be non-empty")
+        if not np.all(np.isfinite(history)):
+            raise ValueError("history contains non-finite samples")
         self._last = float(history[-1])
         return self
 

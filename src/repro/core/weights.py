@@ -60,14 +60,14 @@ class WeightFunction:
     use_accuracy: bool = True
 
     @staticmethod
-    def _denominator(metric: ErrorMetric, eps: float) -> float:
+    def _denominator(metric: ErrorMetric, error_bound: float) -> float:
         if metric is ErrorMetric.NRMSE:
-            if eps <= 0:
-                raise ValueError(f"NRMSE bound must be > 0, got {eps!r}")
-            return max(abs(math.log10(eps)), _DENOM_FLOOR)
-        if eps <= 0:
-            raise ValueError(f"PSNR bound must be > 0, got {eps!r}")
-        return max(abs(eps), _DENOM_FLOOR)
+            if error_bound <= 0:
+                raise ValueError(f"NRMSE bound must be > 0, got {error_bound!r}")
+            return max(abs(math.log10(error_bound)), _DENOM_FLOOR)
+        if error_bound <= 0:
+            raise ValueError(f"PSNR bound must be > 0, got {error_bound!r}")
+        return max(abs(error_bound), _DENOM_FLOOR)
 
     @classmethod
     def calibrated(
@@ -124,21 +124,21 @@ class WeightFunction:
             use_accuracy=use_accuracy,
         )
 
-    def raw(self, cardinality: float, eps: float, priority: float) -> float:
+    def raw(self, cardinality: float, error_bound: float, priority: float) -> float:
         """The unclipped weight value ``k₂·u + b₂``."""
         p = priority if self.use_priority else self.pinned_priority
-        e = eps if self.use_accuracy else self.pinned_accuracy
+        e = error_bound if self.use_accuracy else self.pinned_accuracy
         u = float(cardinality) * float(p) / self._denominator(self.metric, float(e))
         return self.k2 * u + self.b2
 
-    def __call__(self, cardinality: float, eps: float, priority: float) -> int:
+    def __call__(self, cardinality: float, error_bound: float, priority: float) -> int:
         """Blkio weight for retrieving ``Aug_{ε_m}``, clipped to [100, 1000].
 
         Half-way values round *up* (``math.floor(w + 0.5)``) — built-in
         ``round`` uses banker's rounding, which maps e.g. 150.5 to the
         nearest even integer 150, a surprise for a calibrated map.
         """
-        w = self.raw(cardinality, eps, priority)
+        w = self.raw(cardinality, error_bound, priority)
         return math.floor(min(max(w, BLKIO_WEIGHT_MIN), BLKIO_WEIGHT_MAX) + 0.5)
 
 

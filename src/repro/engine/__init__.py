@@ -21,12 +21,14 @@ re-exported lazily.
 from repro.engine.registry import (
     APPS,
     ESTIMATORS,
+    FAULT_CAMPAIGNS,
     PLACEMENTS,
     POLICIES,
     STORAGE_PRESETS,
     Registry,
     register_app,
     register_estimator,
+    register_fault_campaign,
     register_placement,
     register_policy,
     register_storage_preset,
@@ -39,11 +41,13 @@ __all__ = [
     "STORAGE_PRESETS",
     "PLACEMENTS",
     "APPS",
+    "FAULT_CAMPAIGNS",
     "register_estimator",
     "register_policy",
     "register_storage_preset",
     "register_placement",
     "register_app",
+    "register_fault_campaign",
     "ScenarioSession",
     "SweepExecutor",
     "ScenarioSummary",

@@ -3,7 +3,7 @@
 Every figure module used to regenerate and re-decompose the same field
 for every (policy, replication) cell of its grid; the field and its
 ladder depend only on ``(app class, grid shape, decimation ratio,
-metric, bounds, seed)``, so a sweep of P policies over R replications
+metric, error_bounds, seed)``, so a sweep of P policies over R replications
 pays the decomposition cost P·R times for P·R/R distinct ladders.  This
 cache keys on exactly that tuple and shares the resulting
 ``(field, AccuracyLadder)`` pair.
@@ -44,7 +44,7 @@ def _key(
     grid_shape: tuple[int, int],
     decimation_ratio: int,
     metric: ErrorMetric,
-    bounds: tuple[float, ...],
+    error_bounds: tuple[float, ...],
     seed: int,
     method: str,
 ) -> tuple:
@@ -57,7 +57,7 @@ def _key(
         tuple(grid_shape),
         int(decimation_ratio),
         metric,
-        tuple(bounds),
+        tuple(error_bounds),
         int(seed),
         method,
     )
@@ -69,7 +69,7 @@ def ladder_for_app(
     grid_shape: tuple[int, int],
     decimation_ratio: int,
     metric: ErrorMetric,
-    bounds: tuple[float, ...],
+    error_bounds: tuple[float, ...],
     seed: int,
     method: str = "hybrid",
 ) -> tuple[np.ndarray, AccuracyLadder]:
@@ -81,7 +81,7 @@ def ladder_for_app(
     reference ``original`` so construction skips its own recompose pass.
     """
     global _hits, _misses
-    key = _key(app, grid_shape, decimation_ratio, metric, bounds, seed, method)
+    key = _key(app, grid_shape, decimation_ratio, metric, error_bounds, seed, method)
     with _lock:
         hit = _cache.get(key)
         if hit is not None:
@@ -93,7 +93,7 @@ def ladder_for_app(
     data.setflags(write=False)
     levels = levels_for_decimation(data.shape, decimation_ratio)
     dec = decompose(data, levels)
-    ladder = build_ladder(dec, list(bounds), metric, method=method, original=data)
+    ladder = build_ladder(dec, list(error_bounds), metric, method=method, original=data)
     with _lock:
         _cache[key] = (data, ladder)
         _cache.move_to_end(key)

@@ -33,11 +33,13 @@ __all__ = [
     "STORAGE_PRESETS",
     "PLACEMENTS",
     "APPS",
+    "FAULT_CAMPAIGNS",
     "register_estimator",
     "register_policy",
     "register_storage_preset",
     "register_placement",
     "register_app",
+    "register_fault_campaign",
 ]
 
 
@@ -143,6 +145,11 @@ PLACEMENTS = Registry("placement", builtins="repro.storage.staging")
 #: Analytics applications: ``factory(**kwargs) -> AnalyticsApp``.
 APPS = Registry("app", builtins="repro.apps")
 
+#: Fault campaigns: ``factory(config) -> FaultCampaign``.  ``config`` is
+#: duck-typed (``period`` / ``max_steps`` read with defaults) so the same
+#: campaign name scales to any scenario horizon.
+FAULT_CAMPAIGNS = Registry("fault campaign", builtins="repro.faults.campaign")
+
 
 def register_estimator(name: str, obj: Any = None, **kw: Any):
     return ESTIMATORS.register(name, obj, **kw)
@@ -162,3 +169,7 @@ def register_placement(name: str, obj: Any = None, **kw: Any):
 
 def register_app(name: str, obj: Any = None, **kw: Any):
     return APPS.register(name, obj, **kw)
+
+
+def register_fault_campaign(name: str, obj: Any = None, **kw: Any):
+    return FAULT_CAMPAIGNS.register(name, obj, **kw)

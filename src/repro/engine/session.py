@@ -31,7 +31,15 @@ from repro.core.controller import TangoController
 from repro.core.error_control import AccuracyLadder
 from repro.core.weights import WeightFunction, calibrate_weight_function
 from repro.engine import memo
-from repro.engine.registry import APPS, ESTIMATORS, POLICIES, STORAGE_PRESETS
+from repro.engine.registry import (
+    APPS,
+    ESTIMATORS,
+    FAULT_CAMPAIGNS,
+    POLICIES,
+    STORAGE_PRESETS,
+)
+from repro.faults.campaign import FaultCampaign, FaultInjector
+from repro.faults.degradation import DegradationPolicy
 from repro.obs import OBS
 from repro.simkernel import Simulation
 from repro.storage.staging import (
@@ -41,6 +49,7 @@ from repro.storage.staging import (
     stage_timeseries,
 )
 from repro.storage.tier import TieredStorage
+from repro.util.rng import make_rng
 from repro.workloads.analytics import AnalyticsDriver
 from repro.workloads.churn import ChurnSpec, launch_churn
 from repro.workloads.noise import NoiseSpec, launch_noise
@@ -106,6 +115,9 @@ class ScenarioSession:
         self._procs: list = []
         self._teardowns: list[Callable[[], None]] = []
         self._abplot: AugmentationBandwidthPlot | None = None
+        #: Fault-campaign injector, set by :meth:`apply_faults` (None on
+        #: the happy path).
+        self.fault_injector: FaultInjector | None = None
         self.finished = False
 
     # -- shared components ----------------------------------------------
@@ -114,7 +126,7 @@ class ScenarioSession:
     def abplot(self) -> AugmentationBandwidthPlot:
         """The node's augmentation-bandwidth plot (shared across tenants)."""
         if self._abplot is None:
-            self._abplot = AugmentationBandwidthPlot(self.config.bw_low, self.config.bw_high)
+            self._abplot = AugmentationBandwidthPlot(bw_low=self.config.bw_low, bw_high=self.config.bw_high)
         return self._abplot
 
     def build_ladder(self, *, app: str | None = None, seed: int | None = None):
@@ -130,7 +142,7 @@ class ScenarioSession:
             grid_shape=cfg.grid_shape,
             decimation_ratio=cfg.decimation_ratio,
             metric=cfg.metric,
-            bounds=cfg.ladder_bounds,
+            error_bounds=cfg.error_bounds,
             seed=cfg.seed if seed is None else seed,
         )
         return app_obj, data, ladder
@@ -168,6 +180,36 @@ class ScenarioSession:
         self.sim.schedule_at(
             at_time, self.storage.slowest.device.set_speed_factor, speed_factor
         )
+
+    def apply_faults(
+        self,
+        faults: "str | FaultCampaign",
+        *,
+        seed: int | None = None,
+    ) -> FaultInjector:
+        """Arm a fault campaign against the capacity-tier device.
+
+        ``faults`` is a campaign name from
+        :data:`~repro.engine.registry.FAULT_CAMPAIGNS` (the factory gets
+        this session's config, so event times scale to the horizon) or an
+        explicit :class:`~repro.faults.campaign.FaultCampaign`.  The
+        injector's RNG is seeded from ``config.seed + 3`` (alongside the
+        noise/churn conventions), so the expanded plan — and the whole
+        run — is bit-identical per seed.  Drivers added *after* this call
+        get the campaign's estimator-feed corruption wired in as their
+        sample filter.
+        """
+        if self.fault_injector is not None:
+            raise RuntimeError("a fault campaign is already applied to this session")
+        cfg = self.config
+        campaign = faults
+        if isinstance(faults, str):
+            campaign = FAULT_CAMPAIGNS.create(faults, cfg)
+        rng = make_rng(cfg.seed + 3 if seed is None else seed)
+        self.fault_injector = FaultInjector(
+            self.sim, self.storage.slowest.device, campaign, rng=rng
+        ).schedule()
+        return self.fault_injector
 
     def stage(
         self,
@@ -260,6 +302,10 @@ class ScenarioSession:
             )
         if estimator is AUTO:
             estimator = ESTIMATORS.create(cfg.estimator, cfg)
+        # Engine-built controllers degrade gracefully by default (bad feed
+        # samples walk the fallback ladder instead of raising); configs
+        # can opt out with ``degradation=False`` for the strict contract.
+        degradation = DegradationPolicy() if getattr(cfg, "degradation", True) else None
         return TangoController(
             ladder,
             policy_obj,
@@ -270,6 +316,7 @@ class ScenarioSession:
             estimation_interval=(
                 cfg.estimation_interval if estimation_interval is None else estimation_interval
             ),
+            degradation=degradation,
         )
 
     def add_analytics(
@@ -287,6 +334,7 @@ class ScenarioSession:
             raise ValueError(f"analytics container {name!r} already exists")
         cfg = self.config
         container = self.runtime.create(name)
+        injector = self.fault_injector
         driver = AnalyticsDriver(
             container,
             dataset,
@@ -294,6 +342,11 @@ class ScenarioSession:
             period=cfg.period if period is None else period,
             max_steps=cfg.max_steps if max_steps is None else max_steps,
             on_step=on_step,
+            retry_policy=getattr(cfg, "retry", None),
+            # Seeded per driver (after noise=+1, churn=+2, faults=+3) so
+            # jittered backoff stays deterministic and tenant-independent.
+            rng=make_rng(cfg.seed + 4 + len(self.drivers)),
+            sample_filter=injector.corrupt_sample if injector is not None else None,
         )
         proc = self.sim.process(driver.workload())
         container.attach(proc)

@@ -20,6 +20,7 @@ from repro.core.refactor import decompose, levels_for_decimation
 from repro.engine.session import ScenarioSession, make_weight_function
 from repro.experiments.config import DEFAULTS, ScenarioConfig
 from repro.experiments.report import format_table, sparkline
+from repro.util.validation import rename_deprecated, warn_deprecated
 from repro.workloads.analytics import StepRecord
 from repro.workloads.churn import ChurnSpec
 
@@ -36,13 +37,17 @@ class CampaignConfig:
     period: float = 60.0
     timeseries_window: int = 8
     decimation_ratio: int = 16
-    ladder_bounds: tuple[float, ...] = (0.1, 0.01, 0.001)
+    #: Accuracy-ladder rung error bounds (canonical spelling; the legacy
+    #: ``ladder_bounds`` keyword/attribute still works via a shim).
+    error_bounds: tuple[float, ...] = (0.1, 0.01, 0.001)
     prescribed_bound: float = 0.01
     priority: float = 10.0
     churn: ChurnSpec = field(default_factory=ChurnSpec)
     #: When set, the capacity tier drops to this speed factor at the
     #: campaign's midpoint (an aging/failing disk).
     degrade_to: float | None = None
+    #: Fault campaign name from the FAULT_CAMPAIGNS registry, or None.
+    faults: str | None = None
     estimation_interval: int = DEFAULTS.estimation_interval
     seed: int = 0
 
@@ -55,6 +60,39 @@ class CampaignConfig:
             )
         if self.degrade_to is not None and not 0.0 < self.degrade_to <= 1.0:
             raise ValueError(f"degrade_to must be in (0, 1], got {self.degrade_to}")
+        if self.faults is not None:
+            from repro.engine.registry import FAULT_CAMPAIGNS
+
+            if self.faults not in FAULT_CAMPAIGNS:
+                raise ValueError(
+                    f"unknown fault campaign {self.faults!r}; "
+                    f"expected one of {FAULT_CAMPAIGNS.names()}"
+                )
+
+
+# ``ladder_bounds`` → ``error_bounds`` migration shim (see ScenarioConfig).
+_campaign_config_init = CampaignConfig.__init__
+
+
+def _campaign_config_init_shim(self, *args, **kwargs):
+    rename_deprecated(
+        kwargs, {"ladder_bounds": "error_bounds"}, context="CampaignConfig"
+    )
+    _campaign_config_init(self, *args, **kwargs)
+
+
+_campaign_config_init_shim.__wrapped__ = _campaign_config_init
+CampaignConfig.__init__ = _campaign_config_init_shim
+
+
+def _campaign_ladder_bounds_compat(self) -> tuple[float, ...]:
+    warn_deprecated(
+        "CampaignConfig.ladder_bounds is deprecated; use error_bounds"
+    )
+    return self.error_bounds
+
+
+CampaignConfig.ladder_bounds = property(_campaign_ladder_bounds_compat)
 
 
 @dataclass
@@ -130,10 +168,11 @@ def _scenario_config(cfg: CampaignConfig) -> ScenarioConfig:
         period=cfg.period,
         max_steps=cfg.steps,
         decimation_ratio=cfg.decimation_ratio,
-        ladder_bounds=cfg.ladder_bounds,
+        error_bounds=cfg.error_bounds,
         prescribed_bound=cfg.prescribed_bound,
         priority=cfg.priority,
         estimation_interval=cfg.estimation_interval,
+        faults=cfg.faults,
         seed=cfg.seed,
     )
 
@@ -146,7 +185,7 @@ def run_campaign(config: CampaignConfig | None = None) -> CampaignResult:
     fields = field_time_series(base_field, cfg.timeseries_window, seed=cfg.seed + 1)
     levels = levels_for_decimation(base_field.shape, cfg.decimation_ratio)
     ladders = [
-        build_ladder(decompose(f, levels), list(cfg.ladder_bounds), ErrorMetric.NRMSE)
+        build_ladder(decompose(f, levels), list(cfg.error_bounds), ErrorMetric.NRMSE)
         for f in fields
     ]
 
@@ -154,6 +193,8 @@ def run_campaign(config: CampaignConfig | None = None) -> CampaignResult:
     session.launch_churn(cfg.churn)
     if cfg.degrade_to is not None:
         session.degrade_capacity_tier(cfg.steps * cfg.period / 2.0, cfg.degrade_to)
+    if cfg.faults is not None:
+        session.apply_faults(cfg.faults)
 
     series = session.stage_series(f"{cfg.app}-campaign", ladders)
     reference = series.ladder

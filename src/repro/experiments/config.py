@@ -17,7 +17,9 @@ from dataclasses import dataclass, replace
 from types import SimpleNamespace
 
 from repro.core.error_control import ErrorMetric
+from repro.faults.retry import RetryPolicy
 from repro.util.units import mb_per_s
+from repro.util.validation import rename_deprecated, warn_deprecated
 from repro.workloads.noise import TABLE_IV_NOISE, NoiseSpec
 
 __all__ = ["ScenarioConfig", "DEFAULTS", "PRIORITY_LOW", "PRIORITY_MEDIUM", "PRIORITY_HIGH"]
@@ -52,7 +54,9 @@ class ScenarioConfig:
     grid_shape: tuple[int, int] = DEFAULTS.grid_shape
     decimation_ratio: int = DEFAULTS.decimation_ratio
     metric: ErrorMetric = ErrorMetric.NRMSE
-    ladder_bounds: tuple[float, ...] = (0.1, 0.01, 0.001, 0.0001)
+    #: Accuracy-ladder rung error bounds (canonical spelling; the legacy
+    #: ``ladder_bounds`` keyword/attribute still works via a shim).
+    error_bounds: tuple[float, ...] = (0.1, 0.01, 0.001, 0.0001)
     prescribed_bound: float | None = 0.01
     error_control: bool = True
     priority: float = PRIORITY_HIGH
@@ -80,6 +84,15 @@ class ScenarioConfig:
     #: own ("bucket") or the step's total ("total", the paper's Fig. 15
     #: reading where only the accuracy term varies within a step).
     weight_cardinality: str = "bucket"
+    #: Fault campaign name from the FAULT_CAMPAIGNS registry (e.g.
+    #: "chaos"), or None for the happy path.
+    faults: str | None = None
+    #: Retry/backoff policy for the analytics reader; None means the
+    #: legacy one-retry-then-skip default.
+    retry: RetryPolicy | None = None
+    #: Controller graceful degradation: when True (default), bad feed
+    #: samples walk the fallback ladder instead of raising.
+    degradation: bool = True
     seed: int = 0
 
     def with_(self, **changes) -> "ScenarioConfig":
@@ -106,8 +119,8 @@ class ScenarioConfig:
                 f"bw_low must be < bw_high, got bw_low={self.bw_low} "
                 f"bw_high={self.bw_high}"
             )
-        if not self.ladder_bounds:
-            raise ValueError("ladder_bounds must be non-empty")
+        if not self.error_bounds:
+            raise ValueError("error_bounds must be non-empty")
         if self.prescribed_bound is None and self.error_control:
             raise ValueError("error_control=True requires a prescribed_bound")
         if self.estimator not in ESTIMATORS:
@@ -125,3 +138,41 @@ class ScenarioConfig:
                 f"weight_cardinality must be 'bucket' or 'total', "
                 f"got {self.weight_cardinality!r}"
             )
+        if self.faults is not None:
+            from repro.engine.registry import FAULT_CAMPAIGNS
+
+            if self.faults not in FAULT_CAMPAIGNS:
+                raise ValueError(
+                    f"unknown fault campaign {self.faults!r}; "
+                    f"expected one of {FAULT_CAMPAIGNS.names()}"
+                )
+
+
+# -- deprecation shims ----------------------------------------------------
+#
+# ``ladder_bounds`` was renamed to ``error_bounds`` (one canonical
+# spelling across configs, build_ladder, and the ladder APIs).  The old
+# keyword and attribute keep working for one release, loudly.
+
+_scenario_config_init = ScenarioConfig.__init__
+
+
+def _scenario_config_init_shim(self, *args, **kwargs):
+    rename_deprecated(
+        kwargs, {"ladder_bounds": "error_bounds"}, context="ScenarioConfig"
+    )
+    _scenario_config_init(self, *args, **kwargs)
+
+
+_scenario_config_init_shim.__wrapped__ = _scenario_config_init
+ScenarioConfig.__init__ = _scenario_config_init_shim
+
+
+def _ladder_bounds_compat(self) -> tuple[float, ...]:
+    warn_deprecated(
+        "ScenarioConfig.ladder_bounds is deprecated; use error_bounds"
+    )
+    return self.error_bounds
+
+
+ScenarioConfig.ladder_bounds = property(_ladder_bounds_compat)

@@ -57,7 +57,7 @@ def run_fig09(
     )
     psnr_base = ScenarioConfig(
         metric=ErrorMetric.PSNR,
-        ladder_bounds=PSNR_LADDER,
+        error_bounds=PSNR_LADDER,
         prescribed_bound=PSNR_BOUND,
         seed=seed,
     )

@@ -116,7 +116,7 @@ def run_fig10_genasis_quality(
             app="genasis",
             policy=policy,
             decimation_ratio=DECIMATION,
-            ladder_bounds=LADDER_BOUNDS,
+            error_bounds=LADDER_BOUNDS,
             prescribed_bound=LOOSE_BOUND,
             priority=10.0,
             max_steps=max_steps,
@@ -151,7 +151,7 @@ def run_fig10(
             app=app_name,
             policy=policy,
             decimation_ratio=DECIMATION,
-            ladder_bounds=LADDER_BOUNDS,
+            error_bounds=LADDER_BOUNDS,
             prescribed_bound=LOOSE_BOUND,
             priority=10.0,
             max_steps=max_steps,

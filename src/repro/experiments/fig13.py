@@ -75,7 +75,7 @@ def run_fig13(
             # Deep decimation keeps the base accuracy below the 0.01
             # target, so elevating to eps_1 genuinely requires I/O.
             decimation_ratio=256,
-            ladder_bounds=(0.1, 0.01),
+            error_bounds=(0.1, 0.01),
             prescribed_bound=0.01,
             priority=10.0,
             max_steps=max_steps,

@@ -70,7 +70,7 @@ def run_fig14(
             # Deep decimation so every bound in the sweep demands a
             # different amount of augmentation I/O.
             decimation_ratio=256,
-            ladder_bounds=LADDER,
+            error_bounds=LADDER,
             prescribed_bound=bound,
             priority=priority,
             max_steps=max_steps,

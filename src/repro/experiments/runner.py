@@ -13,21 +13,37 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.apps.base import AnalyticsApp
+from repro.core.controller import TangoController
 from repro.core.error_control import AccuracyLadder, ErrorMetric
 from repro.engine.memo import ladder_for_app
-from repro.engine.session import ScenarioSession, make_weight_function
+from repro.engine.session import ScenarioSession
 from repro.experiments.config import ScenarioConfig
 from repro.obs import OBS
 from repro.storage.staging import StagedDataset
 from repro.storage.stats import DeviceSample, DeviceSampler
+from repro.util.validation import pop_renamed, warn_deprecated
 from repro.workloads.analytics import StepRecord
 
 __all__ = [
     "ScenarioResult",
     "run_scenario",
     "build_ladder_for_app",
-    "make_weight_function",
 ]
+
+
+def __getattr__(name: str):
+    # ``make_weight_function`` moved to repro.engine.session (blessed
+    # surface: repro.api); the old import path warns for one release.
+    if name == "make_weight_function":
+        warn_deprecated(
+            "repro.experiments.runner.make_weight_function is deprecated; "
+            "import it from repro.api (or repro.engine.session)",
+            stacklevel=2,
+        )
+        from repro.engine.session import make_weight_function
+
+        return make_weight_function
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 
 def build_ladder_for_app(
@@ -36,22 +52,31 @@ def build_ladder_for_app(
     grid_shape: tuple[int, int],
     decimation_ratio: int,
     metric: ErrorMetric,
-    bounds: tuple[float, ...],
+    error_bounds: tuple[float, ...] | None = None,
     seed: int,
     method: str = "hybrid",
+    **legacy,
 ) -> tuple[np.ndarray, AccuracyLadder]:
     """Generate the app's field, decompose it, and build its ladder.
 
     Memoized via :func:`repro.engine.memo.ladder_for_app`: sweeps that
-    revisit the same (app, shape, ratio, metric, bounds, seed, method)
-    point skip the decomposition entirely.
+    revisit the same (app, shape, ratio, metric, error_bounds, seed,
+    method) point skip the decomposition entirely.  ``error_bounds`` is
+    the canonical spelling; the legacy ``bounds=`` keyword warns.
     """
+    error_bounds = pop_renamed(
+        error_bounds,
+        legacy,
+        old="bounds",
+        new="error_bounds",
+        context="build_ladder_for_app",
+    )
     return ladder_for_app(
         app,
         grid_shape=grid_shape,
         decimation_ratio=decimation_ratio,
         metric=metric,
-        bounds=bounds,
+        error_bounds=error_bounds,
         seed=seed,
         method=method,
     )
@@ -73,6 +98,8 @@ class ScenarioResult:
     #: Capacity-tier device samples, recorded only when observability is
     #: enabled (``None`` otherwise — the disabled path schedules nothing).
     device_samples: list[DeviceSample] | None = None
+    #: The tenant's controller (mode history / degradation inspection).
+    controller: TangoController | None = None
 
     def _require_records(self, what: str) -> None:
         if not self.records:
@@ -147,6 +174,33 @@ class ScenarioResult:
             raise RuntimeError(f"no step reached rung {rung}")
         return float(np.mean(times))
 
+    # -- resilience accounting (fault campaigns) -----------------------------
+
+    @property
+    def total_read_errors(self) -> int:
+        return sum(r.read_errors for r in self.records)
+
+    @property
+    def total_skipped_objects(self) -> int:
+        """Objects abandoned after retry exhaustion, across all steps."""
+        return sum(r.skipped_objects for r in self.records)
+
+    @property
+    def degraded_steps(self) -> list[int]:
+        """Steps whose accuracy no longer honours the ladder's bound.
+
+        A step that skipped any object is *explicitly reported* here
+        rather than silently counted as within-bound.
+        """
+        return [r.step for r in self.records if r.skipped_objects > 0]
+
+    @property
+    def mode_transitions(self) -> list[tuple[int, str, str]]:
+        """Controller degradation-ladder transitions ``(step, from, to)``."""
+        if self.controller is None:
+            return []
+        return list(self.controller.mode_history)
+
 
 def run_scenario(
     config: ScenarioConfig,
@@ -166,6 +220,11 @@ def run_scenario(
     app, original, ladder = session.build_ladder()
     dataset = session.stage(f"{config.app}-data", ladder)
     session.launch_noise()
+    # Fault campaign, if the config names one.  Scheduled after the noise
+    # (fault-free configs schedule nothing here, so the event sequence —
+    # and the recorded fingerprints — are untouched).
+    if getattr(config, "faults", None):
+        session.apply_faults(config.faults)
     controller = session.build_controller(ladder)
 
     # Scenario-level telemetry: a span around the whole run, a sampler on
@@ -219,6 +278,7 @@ def run_scenario(
         weight_history=list(session.containers["analytics"].cgroup.weight_history),
         final_time=final_time,
         device_samples=list(sampler.samples) if sampler is not None else None,
+        controller=controller,
     )
     if scenario_span is not None:
         scenario_span.set(

@@ -109,7 +109,7 @@ def run_threetier(
         decimation_ratio=256,
         # Three non-trivial rungs; the mandated mid rung (0.005) is the
         # one whose tier the third level of storage changes.
-        ladder_bounds=(0.02, 0.005, 0.001),
+        error_bounds=(0.02, 0.005, 0.001),
         prescribed_bound=0.005,
         priority=10.0,
         max_steps=max_steps,
@@ -122,7 +122,7 @@ def run_threetier(
         grid_shape=cfg0.grid_shape,
         decimation_ratio=cfg0.decimation_ratio,
         metric=cfg0.metric,
-        bounds=cfg0.ladder_bounds,
+        error_bounds=cfg0.error_bounds,
         seed=seed,
     )
     scale = cfg0.size_scale

@@ -1,0 +1,99 @@
+"""Controller graceful-degradation policy.
+
+When the interference signal itself goes bad — dropped samples, NaNs
+from a corrupted feed, implausible outliers — a controller that keeps
+refitting on garbage oscillates or stalls (*Mitigating Shared Storage
+Congestion Using Control Theory* shows exactly this failure mode).  The
+:class:`DegradationPolicy` tells :class:`~repro.core.controller.
+TangoController` when to stop trusting its estimator and step down a
+fallback ladder instead:
+
+``normal``
+    full estimate → abplot → weights loop;
+``last-good``
+    hold the last prediction produced from healthy data;
+``static-midpoint``
+    predict the abplot midpoint ``(bw_low + bw_high) / 2`` — a static,
+    assumption-free operating point;
+``weights-only``
+    stop adapting the augmentation degree entirely (retrieve the full
+    plan) and keep only the storage-layer weight coordination.
+
+Transitions are driven by the *consecutive* invalid-sample streak;
+recovery requires a few consecutive healthy samples (hysteresis), so a
+single good sample inside a blackout does not bounce the mode.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = [
+    "DegradationPolicy",
+    "MODE_NORMAL",
+    "MODE_LAST_GOOD",
+    "MODE_STATIC",
+    "MODE_WEIGHTS_ONLY",
+    "CONTROLLER_MODES",
+]
+
+MODE_NORMAL = "normal"
+MODE_LAST_GOOD = "last-good"
+MODE_STATIC = "static-midpoint"
+MODE_WEIGHTS_ONLY = "weights-only"
+
+#: Fallback ladder, least to most degraded.
+CONTROLLER_MODES = (MODE_NORMAL, MODE_LAST_GOOD, MODE_STATIC, MODE_WEIGHTS_ONLY)
+
+
+@dataclass(frozen=True)
+class DegradationPolicy:
+    """Thresholds for the controller's fallback ladder.
+
+    ``outlier_factor`` bounds plausible samples: anything above
+    ``outlier_factor × bw_high`` is treated as feed corruption rather
+    than signal (the device physically cannot deliver it).  The
+    ``*_after`` thresholds are consecutive-invalid-sample streak lengths;
+    ``recovery_samples`` consecutive valid samples return the controller
+    to ``normal``.
+    """
+
+    outlier_factor: float = 8.0
+    last_good_after: int = 2
+    static_after: int = 5
+    weights_only_after: int = 10
+    recovery_samples: int = 2
+
+    def __post_init__(self) -> None:
+        if self.outlier_factor <= 1.0:
+            raise ValueError(
+                f"outlier_factor must be > 1, got {self.outlier_factor!r}"
+            )
+        if self.last_good_after < 1:
+            raise ValueError(
+                f"last_good_after must be >= 1, got {self.last_good_after}"
+            )
+        if self.static_after < self.last_good_after:
+            raise ValueError(
+                "static_after must be >= last_good_after, got "
+                f"{self.static_after} < {self.last_good_after}"
+            )
+        if self.weights_only_after < self.static_after:
+            raise ValueError(
+                "weights_only_after must be >= static_after, got "
+                f"{self.weights_only_after} < {self.static_after}"
+            )
+        if self.recovery_samples < 1:
+            raise ValueError(
+                f"recovery_samples must be >= 1, got {self.recovery_samples}"
+            )
+
+    def mode_for_streak(self, invalid_streak: int) -> str:
+        """The deepest fallback mode this streak mandates."""
+        if invalid_streak >= self.weights_only_after:
+            return MODE_WEIGHTS_ONLY
+        if invalid_streak >= self.static_after:
+            return MODE_STATIC
+        if invalid_streak >= self.last_good_after:
+            return MODE_LAST_GOOD
+        return MODE_NORMAL

@@ -1,0 +1,97 @@
+"""Retry/backoff policies for transient storage failures.
+
+A :class:`RetryPolicy` describes how a reader responds to an I/O error:
+how many attempts it makes, how long it backs off between them (in
+*simulated* seconds, with optional jitter drawn from the scenario RNG so
+replications stay deterministic per seed), and how much total sim time
+it is willing to spend before falling back to skip-and-record.
+
+The default policy reproduces the legacy hard-coded behaviour exactly —
+two attempts, no backoff, no timeout — so fault-free scenarios and the
+recorded behaviour fingerprints are unaffected.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.util.validation import check_non_negative, check_positive
+
+__all__ = ["RetryPolicy", "DEFAULT_RETRY_POLICY"]
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How a reader retries a failed I/O request.
+
+    Parameters
+    ----------
+    max_attempts:
+        Total attempts per object (first try included).  The legacy
+        driver behaviour is 2: one retry, then skip.
+    backoff_base:
+        Simulated seconds to wait before the first retry.  0 retries
+        immediately (and schedules no timer at all, preserving the exact
+        legacy event sequence).
+    backoff_multiplier:
+        Exponential growth factor: retry ``k`` (1-based) waits
+        ``backoff_base * backoff_multiplier**(k-1)`` seconds.
+    jitter:
+        Fractional jitter on each backoff delay: the delay is scaled by
+        ``1 + jitter * U(-1, 1)`` with draws from the caller-supplied
+        generator.  0 draws nothing, so a jitter-free policy consumes no
+        random numbers.
+    timeout:
+        Total sim-time budget per object, measured from the first
+        attempt.  Once a failure lands past the deadline, remaining
+        attempts are abandoned and the object is skipped.  ``None``
+        disables the budget.  (An in-flight request that eventually
+        *succeeds* is never aborted — the timeout only gates retries.)
+    """
+
+    max_attempts: int = 2
+    backoff_base: float = 0.0
+    backoff_multiplier: float = 2.0
+    jitter: float = 0.0
+    timeout: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError(f"max_attempts must be >= 1, got {self.max_attempts}")
+        check_non_negative("backoff_base", self.backoff_base)
+        check_positive("backoff_multiplier", self.backoff_multiplier)
+        if not 0.0 <= self.jitter < 1.0:
+            raise ValueError(f"jitter must be in [0, 1), got {self.jitter!r}")
+        if self.timeout is not None:
+            check_positive("timeout", self.timeout)
+
+    def backoff_delay(self, attempt: int, rng: np.random.Generator | None = None) -> float:
+        """Delay (sim seconds) before the retry after failed ``attempt``.
+
+        ``attempt`` is 1-based (the attempt that just failed).  Jittered
+        policies require ``rng``; jitter-free policies never touch it.
+        """
+        if attempt < 1:
+            raise ValueError(f"attempt must be >= 1, got {attempt}")
+        delay = self.backoff_base * self.backoff_multiplier ** (attempt - 1)
+        if delay <= 0.0:
+            return 0.0
+        if self.jitter > 0.0:
+            if rng is None:
+                raise ValueError("a jittered RetryPolicy needs an rng to draw from")
+            delay *= 1.0 + self.jitter * float(rng.uniform(-1.0, 1.0))
+        return max(delay, 0.0)
+
+    def max_total_backoff(self) -> float:
+        """Upper bound on the summed backoff across all retries."""
+        total = sum(
+            self.backoff_base * self.backoff_multiplier ** (k - 1)
+            for k in range(1, self.max_attempts)
+        )
+        return total * (1.0 + self.jitter)
+
+
+#: The legacy driver behaviour: one retry, immediately, then skip.
+DEFAULT_RETRY_POLICY = RetryPolicy()

@@ -218,6 +218,12 @@ class BlockDevice:
         self._next_key = 0
         self._completion_handle = None
         self._speed_factor = 1.0
+        #: The operator-requested health factor; differs from
+        #: ``_speed_factor`` only while a stall pins the device (see
+        #: :meth:`stall`).
+        self._nominal_factor = 1.0
+        self._stall_handle = None
+        self._stall_until = 0.0
         self._pending_failures = 0
         #: Total bytes moved, by direction (for utilisation accounting).
         self.bytes_moved: dict[Direction, float] = {"read": 0.0, "write": 0.0}
@@ -272,7 +278,47 @@ class BlockDevice:
         """
         if not 0.0 < factor <= 1.0:
             raise ValueError(f"speed factor must be in (0, 1], got {factor!r}")
-        self._speed_factor = float(factor)
+        self._nominal_factor = float(factor)
+        if self.stalled:
+            # The stall pins the effective factor; the new health level
+            # takes over when the stall lifts.
+            return
+        self._speed_factor = self._nominal_factor
+        self._demand_epoch += 1
+        self.reschedule()
+
+    @property
+    def stalled(self) -> bool:
+        """True while a :meth:`stall` is pinning the device."""
+        return self._stall_handle is not None
+
+    def stall(self, duration: float) -> None:
+        """Freeze the device for ``duration`` simulated seconds.
+
+        Models a firmware hiccup, an internal GC pause, or a bus reset:
+        in-flight streams stop making progress (their rates collapse to a
+        vanishing floor rather than exactly zero, so completion horizons
+        stay finite) and recover automatically when the stall lifts.
+        Overlapping stalls extend the outage rather than stacking.
+        """
+        check_positive("duration", duration)
+        until = self.sim.now + duration
+        if self._stall_handle is not None:
+            if until <= self._stall_until:
+                return
+            self._stall_handle.cancel()
+        else:
+            # Entering the stall: pin the effective factor to a vanishing
+            # floor (the nominal factor is restored by _unstall).
+            self._speed_factor = 1e-9
+            self._demand_epoch += 1
+        self._stall_until = until
+        self._stall_handle = self.sim.schedule_at(until, self._unstall)
+        self.reschedule()
+
+    def _unstall(self) -> None:
+        self._stall_handle = None
+        self._speed_factor = self._nominal_factor
         self._demand_epoch += 1
         self.reschedule()
 
@@ -316,6 +362,8 @@ class BlockDevice:
             # Checked before the zero-byte shortcut: injected failures hit
             # every submitted request in order, empty ones included.
             self._pending_failures -= 1
+            if OBS.enabled:
+                self._device_obs()[7].inc(device=self.name, direction=direction)
             self.sim.schedule(
                 latency, ev.fail, IOError(f"{self.name}: injected media error")
             )
@@ -555,6 +603,7 @@ class BlockDevice:
                 reg.counter("device.completions"),
                 reg.counter("device.bytes_completed"),
                 reg.histogram("device.service_time"),
+                reg.counter("device.injected_failures"),
             )
             self._obs_cache = cache
         return cache

@@ -25,12 +25,16 @@ from dataclasses import dataclass
 from typing import TYPE_CHECKING, Callable, Generator
 
 from repro.core.controller import TangoController
+from repro.faults.retry import DEFAULT_RETRY_POLICY, RetryPolicy
+from repro.obs import OBS
 from repro.simkernel import Interrupt, Timeout
 from repro.storage.staging import StagedDataset, TimeSeriesDataset
 from repro.util.units import MiB
 from repro.util.validation import check_positive
 
 if TYPE_CHECKING:  # pragma: no cover
+    import numpy as np
+
     from repro.containers import Container
 
 __all__ = ["StepRecord", "AnalyticsDriver"]
@@ -55,13 +59,20 @@ class StepRecord:
     weights: tuple[int, ...]
     probe_used: bool
 
-    #: Read errors survived this step (each costs one retry; a second
-    #: failure skips the object and degrades the step's accuracy).
+    #: Read errors survived this step (each failed attempt counts; the
+    #: retry policy decides how many attempts an object gets).
     read_errors: int = 0
     #: Latency attribution: seconds spent retrieving the base and each
     #: bucket (rung order), for Fig. 13-style breakdowns.
     base_time: float = 0.0
     bucket_times: tuple[float, ...] = ()
+    #: Objects (base/bucket/probe reads) abandoned after the retry policy
+    #: was exhausted.  A non-zero count means the step completed at
+    #: *degraded accuracy*: the recorded reconstruction error no longer
+    #: honours the ladder's bound and must be reported as skipped.
+    skipped_objects: int = 0
+    #: Controller degradation-ladder mode this step's decision was made in.
+    controller_mode: str = "normal"
 
     @property
     def effective_bandwidth(self) -> float:
@@ -84,6 +95,9 @@ class AnalyticsDriver:
         restore_weight: int | None = None,
         probe_bytes: int = PROBE_BYTES,
         on_step: Callable[[StepRecord], None] | None = None,
+        retry_policy: RetryPolicy | None = None,
+        rng: "np.random.Generator | None" = None,
+        sample_filter: Callable[[float, float], float] | None = None,
     ) -> None:
         check_positive("period", period)
         if max_steps < 1:
@@ -96,6 +110,15 @@ class AnalyticsDriver:
         self.restore_weight = restore_weight
         self.probe_bytes = int(probe_bytes)
         self.on_step = on_step
+        #: How failed reads are retried; the default reproduces the legacy
+        #: one-retry-then-skip behaviour exactly (no backoff timers).
+        self.retry_policy = retry_policy if retry_policy is not None else DEFAULT_RETRY_POLICY
+        #: RNG for backoff jitter (required only for jittered policies).
+        self.rng = rng
+        #: Optional estimator-feed filter ``f(sim_now, measured_bw)`` —
+        #: fault campaigns hook feed corruption in here.  The StepRecord
+        #: always keeps the *true* measurement.
+        self.sample_filter = sample_filter
         self.records: list[StepRecord] = []
 
     # -- derived metrics ----------------------------------------------------
@@ -119,19 +142,42 @@ class AnalyticsDriver:
 
     # -- the workload ------------------------------------------------------
 
-    def _read_with_retry(self, make_event, errors: list[int]) -> Generator:
-        """Yield a read, retrying once on I/O error.
+    def _read_with_retry(self, make_event, errors: list[int], skips: list[int]) -> Generator:
+        """Yield a read, retrying per :attr:`retry_policy` on I/O error.
 
-        A transient media error costs one retry; a repeated failure skips
-        the object (the step proceeds at degraded accuracy rather than
-        wedging the analytics).  Returns the IOStats or ``None``.
+        Each failed attempt counts in ``errors``; between attempts the
+        driver sleeps the policy's (possibly jittered) backoff in
+        simulated time.  When attempts or the per-object time budget run
+        out, the object is *skipped and recorded* in ``skips`` — the step
+        proceeds at degraded accuracy rather than wedging the analytics,
+        and the skip shows up in the step stats so achieved-error
+        accounting stays honest.  Returns the IOStats or ``None``.
         """
-        for attempt in (0, 1):
+        policy = self.retry_policy
+        sim = self.container.sim
+        deadline = sim.now + policy.timeout if policy.timeout is not None else None
+        for attempt in range(1, policy.max_attempts + 1):
             try:
                 stats = yield make_event()
                 return stats
             except IOError:
                 errors[0] += 1
+                if attempt == policy.max_attempts:
+                    break
+                if deadline is not None and sim.now >= deadline:
+                    break
+                delay = policy.backoff_delay(attempt, self.rng)
+                if delay > 0.0:
+                    # Only sleep when there is a backoff: a zero delay
+                    # schedules nothing, preserving the legacy event
+                    # sequence under the default policy.
+                    yield Timeout(delay)
+        skips[0] += 1
+        if OBS.enabled:
+            OBS.registry.counter("analytics.skipped_objects").inc()
+            OBS.tracer.event(
+                "analytics.object_skipped", attempts=policy.max_attempts
+            )
         return None
 
     def workload(self) -> Generator:
@@ -152,11 +198,12 @@ class AnalyticsDriver:
                 slow_bytes = 0.0
                 slow_time = 0.0
                 errors = [0]
+                skips = [0]
 
                 # Line 1 / base retrieval (fast tier, this step's data).
                 t0 = sim.now
                 stats = yield from self._read_with_retry(
-                    lambda: dataset.read_base(cgroup), errors
+                    lambda: dataset.read_base(cgroup), errors, skips
                 )
                 base_time = sim.now - t0
                 if stats is not None:
@@ -176,6 +223,7 @@ class AnalyticsDriver:
                     stats = yield from self._read_with_retry(
                         lambda r=rstep: dataset.read_bucket(r.bucket.index, cgroup),
                         errors,
+                        skips,
                     )
                     bucket_times.append(sim.now - t0)
                     if stats is None:
@@ -195,6 +243,7 @@ class AnalyticsDriver:
                     stats = yield from self._read_with_retry(
                         lambda: slowest.device.submit(cgroup, self.probe_bytes, "read"),
                         errors,
+                        skips,
                     )
                     if stats is not None:
                         slow_bytes = stats.nbytes
@@ -206,7 +255,12 @@ class AnalyticsDriver:
                     self.container.set_blkio_weight(self.restore_weight)
 
                 io_time = sim.now - io_start
-                self.controller.observe(step, measured_bw)
+                # The estimator sees the (possibly corrupted) feed; the
+                # record below keeps the true measurement.
+                fed_bw = measured_bw
+                if self.sample_filter is not None:
+                    fed_bw = self.sample_filter(sim.now, measured_bw)
+                self.controller.observe(step, fed_bw)
                 record = StepRecord(
                     step=step,
                     started_at=step_start,
@@ -221,6 +275,8 @@ class AnalyticsDriver:
                     read_errors=errors[0],
                     base_time=base_time,
                     bucket_times=tuple(bucket_times),
+                    skipped_objects=skips[0],
+                    controller_mode=decision.mode,
                 )
                 self.records.append(record)
                 if self.on_step is not None:

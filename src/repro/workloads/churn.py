@@ -68,7 +68,13 @@ def _job(
     deadline = container.sim.now + lifetime
     try:
         for waitable in inner:
-            yield waitable
+            try:
+                yield waitable
+            except IOError:
+                # Injected media error: the failed event was thrown here,
+                # not inside ``inner`` (we re-yield its waitables), so the
+                # lost checkpoint is dropped and the job carries on.
+                pass
             if container.sim.now >= deadline:
                 break
     except Interrupt:

@@ -83,7 +83,12 @@ def checkpoint_workload(
                 ev = fs.overwrite(container.cgroup, fname)
             else:
                 ev = fs.write(container.cgroup, fname, spec.checkpoint_bytes)
-            yield ev
+            try:
+                yield ev
+            except IOError:
+                # A checkpoint lost to a media error is simply dropped;
+                # the job writes the next one at its usual period.
+                pass
             jitter = 1.0 + period_jitter * float(rng.standard_normal())
             next_deadline += spec.period * max(jitter, 0.1)
             yield Timeout(max(0.0, next_deadline - container.sim.now))

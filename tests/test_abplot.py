@@ -11,7 +11,7 @@ from repro.util.units import mb_per_s
 
 @pytest.fixture
 def ab():
-    return AugmentationBandwidthPlot(mb_per_s(30), mb_per_s(120))
+    return AugmentationBandwidthPlot(bw_low=mb_per_s(30), bw_high=mb_per_s(120))
 
 
 class TestClamping:
@@ -46,13 +46,13 @@ class TestLinearSegment:
 class TestValidation:
     def test_high_must_exceed_low(self):
         with pytest.raises(ValueError):
-            AugmentationBandwidthPlot(mb_per_s(120), mb_per_s(30))
+            AugmentationBandwidthPlot(bw_low=mb_per_s(120), bw_high=mb_per_s(30))
         with pytest.raises(ValueError):
-            AugmentationBandwidthPlot(mb_per_s(30), mb_per_s(30))
+            AugmentationBandwidthPlot(bw_low=mb_per_s(30), bw_high=mb_per_s(30))
 
     def test_positive_thresholds(self):
         with pytest.raises(ValueError):
-            AugmentationBandwidthPlot(0.0, mb_per_s(120))
+            AugmentationBandwidthPlot(bw_low=0.0, bw_high=mb_per_s(120))
 
 
 class TestProperties:
@@ -63,7 +63,7 @@ class TestProperties:
     )
     @settings(max_examples=50, deadline=None)
     def test_bounded_and_monotone(self, low, span, bw):
-        ab = AugmentationBandwidthPlot(low, low + span)
+        ab = AugmentationBandwidthPlot(bw_low=low, bw_high=low + span)
         d = ab.degree(bw)
         assert 0.0 <= d <= 1.0
         assert ab.degree(bw + 1e6) >= d

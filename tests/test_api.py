@@ -1,0 +1,178 @@
+"""Tests for repro.api — the blessed facade — and the deprecation shims."""
+
+import warnings
+
+import pytest
+
+from repro.util.validation import ReproDeprecationWarning
+
+
+class TestFacade:
+    def test_every_name_resolves(self):
+        import repro.api as api
+
+        for name in api.__all__:
+            assert getattr(api, name) is not None
+
+    def test_facade_is_same_objects_as_deep_paths(self):
+        import repro.api as api
+        from repro.core.error_control import build_ladder
+        from repro.engine.session import ScenarioSession, make_weight_function
+        from repro.experiments.runner import run_scenario
+        from repro.faults import FaultCampaign, RetryPolicy
+
+        assert api.build_ladder is build_ladder
+        assert api.run_scenario is run_scenario
+        assert api.ScenarioSession is ScenarioSession
+        assert api.make_weight_function is make_weight_function
+        assert api.FaultCampaign is FaultCampaign
+        assert api.RetryPolicy is RetryPolicy
+
+    def test_resilience_surface_present(self):
+        import repro.api as api
+
+        for name in ("FaultCampaign", "FaultInjector", "RetryPolicy",
+                     "DegradationPolicy", "FAULT_CAMPAIGNS",
+                     "register_fault_campaign", "run_resilience"):
+            assert name in api.__all__
+
+    def test_no_dead_all_entries(self):
+        import repro.api as api
+
+        exported = {n for n in dir(api) if not n.startswith("_")}
+        assert set(api.__all__) <= exported
+
+
+class TestScenarioConfigShims:
+    def test_ladder_bounds_keyword_warns_and_maps(self):
+        from repro.experiments.config import ScenarioConfig
+
+        with pytest.warns(ReproDeprecationWarning, match="ladder_bounds"):
+            cfg = ScenarioConfig(ladder_bounds=(0.1, 0.01))
+        assert cfg.error_bounds == (0.1, 0.01)
+
+    def test_ladder_bounds_attribute_warns(self):
+        from repro.experiments.config import ScenarioConfig
+
+        cfg = ScenarioConfig()
+        with pytest.warns(ReproDeprecationWarning, match="ladder_bounds"):
+            assert cfg.ladder_bounds == cfg.error_bounds
+
+    def test_both_spellings_rejected(self):
+        from repro.experiments.config import ScenarioConfig
+
+        with pytest.raises(TypeError):
+            with warnings.catch_warnings():
+                warnings.simplefilter("ignore")
+                ScenarioConfig(ladder_bounds=(0.1,), error_bounds=(0.1,))
+
+    def test_canonical_spelling_is_silent(self):
+        from repro.experiments.config import ScenarioConfig
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", ReproDeprecationWarning)
+            ScenarioConfig(error_bounds=(0.1, 0.01))
+
+
+class TestCampaignConfigShims:
+    def test_ladder_bounds_keyword_warns_and_maps(self):
+        from repro.experiments.campaign import CampaignConfig
+
+        with pytest.warns(ReproDeprecationWarning, match="ladder_bounds"):
+            cfg = CampaignConfig(ladder_bounds=(0.1, 0.01))
+        assert cfg.error_bounds == (0.1, 0.01)
+
+    def test_attribute_shim_warns(self):
+        from repro.experiments.campaign import CampaignConfig
+
+        with pytest.warns(ReproDeprecationWarning, match="ladder_bounds"):
+            assert CampaignConfig().ladder_bounds == (0.1, 0.01, 0.001)
+
+
+class TestBuildLadderShims:
+    def _dec(self):
+        from repro.apps import make_app
+        from repro.core.refactor import decompose, levels_for_decimation
+
+        field = make_app("xgc").generate((64, 64), seed=0)
+        return decompose(field, levels_for_decimation(field.shape, 4))
+
+    def test_bounds_keyword_warns(self):
+        from repro.core.error_control import ErrorMetric, build_ladder
+
+        dec = self._dec()
+        with pytest.warns(ReproDeprecationWarning, match="bounds"):
+            ladder = build_ladder(dec, metric=ErrorMetric.NRMSE, bounds=[0.1, 0.01])
+        assert ladder.num_buckets == 2
+
+    def test_build_ladder_for_app_bounds_warns(self):
+        from repro.apps import make_app
+        from repro.core.error_control import ErrorMetric
+        from repro.experiments.runner import build_ladder_for_app
+
+        with pytest.warns(ReproDeprecationWarning, match="bounds"):
+            _, ladder = build_ladder_for_app(
+                make_app("xgc"),
+                grid_shape=(64, 64),
+                decimation_ratio=4,
+                metric=ErrorMetric.NRMSE,
+                bounds=(0.1, 0.01),
+                seed=0,
+            )
+        assert ladder.num_buckets == 2
+
+    def test_unknown_keyword_rejected(self):
+        from repro.core.error_control import ErrorMetric, build_ladder
+
+        with pytest.raises(TypeError):
+            build_ladder(self._dec(), [0.1], ErrorMetric.NRMSE, bogus=(0.1,))
+
+
+class TestAbplotShim:
+    def test_positional_construction_warns(self):
+        from repro.core.abplot import AugmentationBandwidthPlot
+        from repro.util.units import mb_per_s
+
+        with pytest.warns(ReproDeprecationWarning, match="positional"):
+            ab = AugmentationBandwidthPlot(mb_per_s(30), mb_per_s(120))
+        assert ab.bw_low == mb_per_s(30)
+        assert ab.bw_high == mb_per_s(120)
+
+    def test_keyword_construction_is_silent(self):
+        from repro.core.abplot import AugmentationBandwidthPlot
+        from repro.util.units import mb_per_s
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", ReproDeprecationWarning)
+            AugmentationBandwidthPlot(bw_low=mb_per_s(30), bw_high=mb_per_s(120))
+
+    def test_duplicate_value_rejected(self):
+        from repro.core.abplot import AugmentationBandwidthPlot
+
+        with pytest.raises(TypeError):
+            with warnings.catch_warnings():
+                warnings.simplefilter("ignore")
+                AugmentationBandwidthPlot(1.0, bw_low=2.0)
+
+    def test_too_many_positionals_rejected(self):
+        from repro.core.abplot import AugmentationBandwidthPlot
+
+        with pytest.raises(TypeError):
+            AugmentationBandwidthPlot(1.0, 2.0, 3.0)
+
+
+class TestRunnerModuleShim:
+    def test_make_weight_function_import_warns(self):
+        import repro.experiments.runner as runner
+
+        with pytest.warns(ReproDeprecationWarning, match="make_weight_function"):
+            fn = runner.make_weight_function
+        from repro.engine.session import make_weight_function
+
+        assert fn is make_weight_function
+
+    def test_unknown_attribute_still_raises(self):
+        import repro.experiments.runner as runner
+
+        with pytest.raises(AttributeError):
+            runner.does_not_exist

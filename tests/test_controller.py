@@ -28,7 +28,7 @@ def ladder(smooth_field):
 
 @pytest.fixture
 def abplot():
-    return AugmentationBandwidthPlot(mb_per_s(30), mb_per_s(120))
+    return AugmentationBandwidthPlot(bw_low=mb_per_s(30), bw_high=mb_per_s(120))
 
 
 @pytest.fixture

@@ -175,7 +175,7 @@ class TestMemoCache:
             grid_shape=(64, 64),
             decimation_ratio=4,
             metric=ScenarioConfig(max_steps=1).metric,
-            bounds=(0.1, 0.01),
+            error_bounds=(0.1, 0.01),
             seed=7,
         )
         data1, ladder1 = memo.ladder_for_app(app, **kwargs)
@@ -198,7 +198,7 @@ class TestMemoCache:
             grid_shape=(64, 64),
             decimation_ratio=4,
             metric=ScenarioConfig(max_steps=1).metric,
-            bounds=(0.1, 0.01),
+            error_bounds=(0.1, 0.01),
             seed=7,
         )
         _, default = memo.ladder_for_app(app, **kwargs)
@@ -220,7 +220,7 @@ class TestMemoCache:
             grid_shape=(64, 64),
             decimation_ratio=4,
             metric=ScenarioConfig(max_steps=1).metric,
-            bounds=(0.1,),
+            error_bounds=(0.1,),
             seed=0,
         )
         with pytest.raises(ValueError):

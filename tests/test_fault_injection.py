@@ -77,7 +77,7 @@ class TestDeviceFailureInjection:
 
 class TestDriverResilience:
     def _build(self, sim, smooth_field, max_steps=4):
-        from repro.experiments.runner import make_weight_function
+        from repro.engine.session import make_weight_function
 
         storage = TieredStorage.two_tier_testbed(sim)
         runtime = ContainerRuntime(sim)
@@ -87,7 +87,7 @@ class TestDriverResilience:
         controller = TangoController(
             ladder,
             make_policy("cross-layer", make_weight_function(ladder)),
-            AugmentationBandwidthPlot(mb_per_s(30), mb_per_s(120)),
+            AugmentationBandwidthPlot(bw_low=mb_per_s(30), bw_high=mb_per_s(120)),
             prescribed_bound=0.001,
         )
         container = runtime.create("analytics")

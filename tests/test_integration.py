@@ -64,7 +64,7 @@ class TestErrorBoundHonoured:
         cfg = ScenarioConfig(
             policy="cross-layer",
             decimation_ratio=256,
-            ladder_bounds=(0.1, 0.05, 0.01, 0.001),
+            error_bounds=(0.1, 0.05, 0.01, 0.001),
             prescribed_bound=bound,
             max_steps=12,
             seed=0,
@@ -79,7 +79,7 @@ class TestErrorBoundHonoured:
             policy="cross-layer",
             metric=ErrorMetric.PSNR,
             decimation_ratio=256,
-            ladder_bounds=(15.0, 25.0, 35.0, 50.0),
+            error_bounds=(15.0, 25.0, 35.0, 50.0),
             prescribed_bound=35.0,
             max_steps=10,
             seed=0,

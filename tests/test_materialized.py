@@ -73,7 +73,7 @@ class TestMaterializedStaging:
         from repro.containers import ContainerRuntime
         from repro.core.abplot import AugmentationBandwidthPlot
         from repro.core.controller import TangoController, make_policy
-        from repro.experiments.runner import make_weight_function
+        from repro.engine.session import make_weight_function
         from repro.util.units import mb_per_s
         from repro.workloads.analytics import AnalyticsDriver
 
@@ -82,7 +82,7 @@ class TestMaterializedStaging:
         controller = TangoController(
             ladder,
             make_policy("cross-layer", make_weight_function(ladder)),
-            AugmentationBandwidthPlot(mb_per_s(30), mb_per_s(120)),
+            AugmentationBandwidthPlot(bw_low=mb_per_s(30), bw_high=mb_per_s(120)),
             prescribed_bound=0.01,
         )
         container = runtime.create("analytics")

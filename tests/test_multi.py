@@ -5,7 +5,7 @@ import pytest
 from repro.experiments.config import ScenarioConfig
 from repro.experiments.multi import MultiScenarioResult, TenantSpec, run_multi_scenario
 
-FAST = ScenarioConfig(max_steps=6, decimation_ratio=256, ladder_bounds=(0.1, 0.01, 0.001))
+FAST = ScenarioConfig(max_steps=6, decimation_ratio=256, error_bounds=(0.1, 0.01, 0.001))
 
 
 class TestValidation:

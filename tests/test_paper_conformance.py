@@ -96,7 +96,7 @@ class TestFormulas:
         """abplot(B̃W) = k₁·B̃W + b₁ on the ramp, 0/1 at the clamps."""
         from repro.core.abplot import AugmentationBandwidthPlot
 
-        ab = AugmentationBandwidthPlot(mb_per_s(30), mb_per_s(120))
+        ab = AugmentationBandwidthPlot(bw_low=mb_per_s(30), bw_high=mb_per_s(120))
         bw = mb_per_s(75)
         assert ab.degree(bw) == pytest.approx(ab.k1 * bw + ab.b1)
 
@@ -154,7 +154,7 @@ class TestFormulas:
         from repro.core.refactor import decompose
 
         ladder = build_ladder(decompose(smooth_field, 3), [0.1, 0.01], ErrorMetric.NRMSE)
-        ab = AugmentationBandwidthPlot(mb_per_s(30), mb_per_s(120))
+        ab = AugmentationBandwidthPlot(bw_low=mb_per_s(30), bw_high=mb_per_s(120))
         for bw in (mb_per_s(5), mb_per_s(75), mb_per_s(500)):
             plan = plan_recomposition(ladder, 0.01, bw, ab)
             assert plan.target_rung == max(plan.prescribed_rung, plan.estimated_rung)

@@ -19,7 +19,7 @@ def ladder(smooth_field):
 
 @pytest.fixture
 def abplot():
-    return AugmentationBandwidthPlot(mb_per_s(30), mb_per_s(120))
+    return AugmentationBandwidthPlot(bw_low=mb_per_s(30), bw_high=mb_per_s(120))
 
 
 @pytest.fixture
@@ -188,7 +188,7 @@ class TestPlanProperties:
         field = np.sin(2 * x)[:, None] * np.cos(3 * x)[None, :]
         field = field + 0.02 * rng.standard_normal(field.shape)
         ladder = build_ladder(decompose(field, 3), [0.1, 0.01], ErrorMetric.NRMSE)
-        abplot = AugmentationBandwidthPlot(mb_per_s(30), mb_per_s(120))
+        abplot = AugmentationBandwidthPlot(bw_low=mb_per_s(30), bw_high=mb_per_s(120))
         plan = plan_recomposition(ladder, 0.01, mb_per_s(bw_mb), abplot)
         assert plan.target_rung == max(plan.prescribed_rung, plan.estimated_rung)
         assert plan.prescribed_rung == ladder.find_bucket_for_bound(0.01)

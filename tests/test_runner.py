@@ -4,7 +4,8 @@ import numpy as np
 import pytest
 
 from repro.experiments.config import ScenarioConfig
-from repro.experiments.runner import build_ladder_for_app, make_weight_function, run_scenario
+from repro.engine.session import make_weight_function
+from repro.experiments.runner import build_ladder_for_app, run_scenario
 from repro.apps import make_app
 from repro.core.error_control import ErrorMetric
 from repro.workloads.noise import TABLE_IV_NOISE
@@ -34,7 +35,7 @@ class TestConfig:
 
     def test_empty_ladder_rejected(self):
         with pytest.raises(ValueError):
-            ScenarioConfig(ladder_bounds=())
+            ScenarioConfig(error_bounds=())
 
     def test_max_steps_validated(self):
         with pytest.raises(ValueError):
@@ -50,7 +51,7 @@ class TestBuildLadder:
                 grid_shape=(64, 64),
                 decimation_ratio=16,
                 metric=ErrorMetric.NRMSE,
-                bounds=(0.1, 0.01),
+                error_bounds=(0.1, 0.01),
                 seed=0,
             )
             assert data.shape == (64, 64)
@@ -143,7 +144,7 @@ class TestRunScenario:
     def test_psnr_metric_scenario(self):
         cfg = ScenarioConfig(
             metric=ErrorMetric.PSNR,
-            ladder_bounds=(20.0, 30.0, 45.0),
+            error_bounds=(20.0, 30.0, 45.0),
             prescribed_bound=30.0,
             policy="cross-layer",
             **FAST,

@@ -98,12 +98,12 @@ class TestStageTimeseries:
         """The analytics driver walks the staged timesteps in order."""
         storage, series = ts
         runtime = ContainerRuntime(sim)
-        from repro.experiments.runner import make_weight_function
+        from repro.engine.session import make_weight_function
 
         controller = TangoController(
             series.ladder,
             make_policy("cross-layer", make_weight_function(series.ladder)),
-            AugmentationBandwidthPlot(mb_per_s(30), mb_per_s(120)),
+            AugmentationBandwidthPlot(bw_low=mb_per_s(30), bw_high=mb_per_s(120)),
             prescribed_bound=0.01,
         )
         container = runtime.create("analytics")

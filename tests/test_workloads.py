@@ -127,7 +127,7 @@ class TestNoise:
 
 def _make_driver(sim, storage, runtime, smooth_field, policy_name="cross-layer",
                  **driver_kwargs):
-    from repro.experiments.runner import make_weight_function
+    from repro.engine.session import make_weight_function
 
     dec = decompose(smooth_field, 4)
     ladder = build_ladder(dec, [0.1, 0.01, 0.001], ErrorMetric.NRMSE)
@@ -136,7 +136,7 @@ def _make_driver(sim, storage, runtime, smooth_field, policy_name="cross-layer",
     controller = TangoController(
         ladder,
         make_policy(policy_name, wf),
-        AugmentationBandwidthPlot(mb_per_s(30), mb_per_s(120)),
+        AugmentationBandwidthPlot(bw_low=mb_per_s(30), bw_high=mb_per_s(120)),
         prescribed_bound=0.01,
         priority=10.0,
     )
