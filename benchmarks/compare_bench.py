@@ -1,12 +1,19 @@
 #!/usr/bin/env python3
 """Compare a fresh ``BENCH_micro.json`` against a committed baseline.
 
-Soft perf gate for CI: for every benchmark present in both reports, the
-median wall-times are compared and a GitHub Actions ``::warning`` line is
-emitted when the new median regresses by more than ``--threshold``
-(default 2x).  The script always exits 0 — shared runners are noisy and a
-hard perf gate on them would flap; the warnings surface in the run
-annotations where a human can judge them.
+Two gates run over every benchmark present in both reports:
+
+* **Wall-time (soft).**  A GitHub Actions ``::warning`` line is emitted
+  when a median wall-time regresses by more than ``--threshold``
+  (default 2x).  Warnings never fail the job — shared runners are noisy
+  and a hard wall-clock gate on them would flap.
+
+* **Events/sec (hard).**  Scenario rows carry ``events_per_sec``, and
+  the event count per scenario is deterministic — wall noise cancels
+  out of the *ratio* far less than it pollutes a single median, and the
+  event kernel is exactly what this figure measures.  A drop of more
+  than ``--events-threshold`` (default 20 %) against the baseline emits
+  a ``::error`` line and the script exits 1, failing CI.
 
     python benchmarks/compare_bench.py baseline.json fresh.json
 """
@@ -19,6 +26,9 @@ import sys
 from pathlib import Path
 
 DEFAULT_THRESHOLD = 2.0
+
+#: Hard gate: fractional events/sec drop that fails the job (0.20 = 20 %).
+DEFAULT_EVENTS_THRESHOLD = 0.20
 
 
 def compare(baseline: dict, fresh: dict, *, threshold: float) -> list[str]:
@@ -41,6 +51,26 @@ def compare(baseline: dict, fresh: dict, *, threshold: float) -> list[str]:
     return warnings
 
 
+def compare_events(baseline: dict, fresh: dict, *, threshold: float) -> list[str]:
+    """Error lines for scenario rows whose events/sec dropped past ``threshold``."""
+    errors: list[str] = []
+    base_rows = baseline.get("benchmarks", {})
+    fresh_rows = fresh.get("benchmarks", {})
+    for name in sorted(base_rows.keys() & fresh_rows.keys()):
+        old = base_rows[name].get("events_per_sec")
+        new = fresh_rows[name].get("events_per_sec")
+        if not old or not new or old <= 0:
+            continue
+        drop = 1.0 - new / old
+        if drop > threshold:
+            errors.append(
+                f"::error title=event-rate regression::{name} "
+                f"{new / 1e3:.1f}k events/s vs baseline {old / 1e3:.1f}k "
+                f"({drop * 100:.0f}% drop, threshold {threshold * 100:.0f}%)"
+            )
+    return errors
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("baseline", help="committed BENCH_micro.json")
@@ -49,7 +79,16 @@ def main(argv: list[str] | None = None) -> int:
         "--threshold",
         type=float,
         default=DEFAULT_THRESHOLD,
-        help=f"regression ratio that triggers a warning (default {DEFAULT_THRESHOLD})",
+        help=f"wall-time ratio that triggers a warning (default {DEFAULT_THRESHOLD})",
+    )
+    parser.add_argument(
+        "--events-threshold",
+        type=float,
+        default=DEFAULT_EVENTS_THRESHOLD,
+        help=(
+            "fractional events/sec drop that fails the job "
+            f"(default {DEFAULT_EVENTS_THRESHOLD})"
+        ),
     )
     args = parser.parse_args(argv)
 
@@ -69,6 +108,16 @@ def main(argv: list[str] | None = None) -> int:
             f"compare_bench: no benchmark regressed beyond "
             f"{args.threshold:.1f}x the committed baseline"
         )
+
+    errors = compare_events(baseline, fresh, threshold=args.events_threshold)
+    for line in errors:
+        print(line)
+    if errors:
+        return 1
+    print(
+        f"compare_bench: no scenario lost more than "
+        f"{args.events_threshold * 100:.0f}% events/sec against the baseline"
+    )
     return 0
 
 

@@ -61,6 +61,10 @@ class DFTEstimator(BandwidthEstimator):
         self._coeffs: np.ndarray | None = None
         self._n = 0
         self._kept_components = 0
+        # Kept-component indices and their coefficients, hoisted out of
+        # predict(): the sparse spectrum is fixed between refits.
+        self._k: np.ndarray | None = None
+        self._ck: np.ndarray | None = None
 
     @property
     def is_fitted(self) -> bool:
@@ -109,6 +113,8 @@ class DFTEstimator(BandwidthEstimator):
         self._coeffs = filtered
         self._n = n
         self._kept_components = int(keep.sum())
+        self._k = np.flatnonzero(filtered)
+        self._ck = filtered[self._k]
         if span is not None:
             span.set(kept=self._kept_components, thresh=self.thresh).end()
             reg = OBS.registry
@@ -128,10 +134,10 @@ class DFTEstimator(BandwidthEstimator):
         scalar = np.isscalar(steps)
         s = np.atleast_1d(np.asarray(steps, dtype=np.float64))
         n = self._n
-        k = np.flatnonzero(self._coeffs)
+        k = self._k
         # x(s) = (1/n) * Re( sum_k FC_k * exp(2πi k s / n) )
         phases = np.exp(2j * np.pi * np.outer(s, k) / n)
-        vals = (phases @ self._coeffs[k]).real / n
+        vals = (phases @ self._ck).real / n
         return float(vals[0]) if scalar else vals
 
     def filtered_history(self) -> np.ndarray:

@@ -102,7 +102,9 @@ class ScenarioSession:
     ) -> None:
         self.config = config
         self.placement = placement
-        self.sim = Simulation()
+        # Campaign configs and duck-typed configs may predate the kernel
+        # field; default them to the calendar kernel.
+        self.sim = Simulation(kernel=getattr(config, "kernel", "calendar"))
         if OBS.enabled:
             OBS.tracer.bind_clock(self.sim)
         if storage_factory is not None:

@@ -35,6 +35,17 @@ itself rather than the ladder math:
   pre-optimisation cost model).
   ``derived.blkio_stress16_speedup_fast_vs_reference`` is the wall-clock
   ratio over the identical simulated horizon and is expected to stay ≥ 2.
+
+Schema 3 records the event-kernel comparison: the fig07 and stress16
+scenarios run once per kernel (``scenario_fig07_contention`` /
+``blkio_stress16_fast`` on the default calendar kernel, ``*_heap``
+variants on the binary-heap parity oracle) and every scenario row
+carries ``events_per_sec``.  ``derived.event_kernel_ratio_*`` is
+calendar events/sec over heap events/sec — both kernels execute the
+identical event sequence, so the ratio is pure kernel overhead.  The
+regression gate lives in ``benchmarks/compare_bench.py``: any scenario
+row whose events/sec drops more than 20 % against the committed
+baseline fails CI.
 """
 
 from __future__ import annotations
@@ -51,7 +62,7 @@ from typing import Callable
 __all__ = ["BENCH_FILENAME", "SCHEMA_VERSION", "run_microbench", "write_report", "repo_root"]
 
 BENCH_FILENAME = "BENCH_micro.json"
-SCHEMA_VERSION = 2
+SCHEMA_VERSION = 3
 
 #: Median speedup of the default ladder method over the pre-fastladder
 #: cost model that the perf work is pinned to (see module docstring).
@@ -113,7 +124,11 @@ def _clear_scratch(dec) -> None:
 
 
 def _run_stress_blkio(
-    fast_path: bool, *, n_streams: int = 16, horizon: float = 120.0
+    fast_path: bool,
+    *,
+    kernel: str = "calendar",
+    n_streams: int = 16,
+    horizon: float = 120.0,
 ) -> tuple[float, int, float]:
     """One 16-stream device stress run; returns (wall_s, events, sim_time).
 
@@ -130,7 +145,7 @@ def _run_stress_blkio(
     from repro.storage.device import DEVICE_PRESETS, BlockDevice
     from repro.util.units import MiB
 
-    sim = Simulation()
+    sim = Simulation(kernel=kernel)
     device = BlockDevice(sim, DEVICE_PRESETS["seagate-hdd-2t"], fast_path=fast_path)
     groups = CgroupController()
     cgroups = [
@@ -162,7 +177,7 @@ def _run_stress_blkio(
     return time.perf_counter() - t0, sim.events_executed, sim.now
 
 
-def _run_scenario_contention() -> tuple[float, int, float]:
+def _run_scenario_contention(kernel: str = "calendar") -> tuple[float, int, float]:
     """One fig07-style contention run; returns (wall_s, events, sim_time).
 
     Table IV noise against a non-adaptive analytics tenant on the shared
@@ -173,7 +188,7 @@ def _run_scenario_contention() -> tuple[float, int, float]:
     from repro.engine.session import ScenarioSession
     from repro.experiments.config import ScenarioConfig
 
-    config = ScenarioConfig(policy="no-adaptivity", max_steps=12, seed=0)
+    config = ScenarioConfig(policy="no-adaptivity", max_steps=12, seed=0, kernel=kernel)
     session = ScenarioSession(config)
     _, _, ladder = session.build_ladder()
     dataset = session.stage(f"{config.app}-data", ladder)
@@ -257,7 +272,9 @@ def run_microbench(
     # deterministic per runner, so the last repeat's figures stand for all.
     scenario_specs: list[tuple[str, Callable[[], tuple[float, int, float]]]] = [
         ("scenario_fig07_contention", _run_scenario_contention),
+        ("scenario_fig07_contention_heap", lambda: _run_scenario_contention("heap")),
         ("blkio_stress16_fast", lambda: _run_stress_blkio(True)),
+        ("blkio_stress16_fast_heap", lambda: _run_stress_blkio(True, kernel="heap")),
         ("blkio_stress16_reference", lambda: _run_stress_blkio(False)),
     ]
     for name, runner in scenario_specs:
@@ -300,6 +317,15 @@ def run_microbench(
             stress_fast > 0 and stress_ref / stress_fast >= BLKIO_SPEEDUP_TARGET
         ),
     }
+    # Event-kernel comparison (schema 3): calendar vs heap events/sec on
+    # the identical event sequence — the ratio is pure kernel overhead.
+    for key, cal_name, heap_name in (
+        ("event_kernel_ratio_fig07", "scenario_fig07_contention", "scenario_fig07_contention_heap"),
+        ("event_kernel_ratio_stress16", "blkio_stress16_fast", "blkio_stress16_fast_heap"),
+    ):
+        cal_eps = results[cal_name]["events_per_sec"]
+        heap_eps = results[heap_name]["events_per_sec"]
+        derived[key] = cal_eps / heap_eps if cal_eps and heap_eps else None
 
     root = repo_root()
     return {

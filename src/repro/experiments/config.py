@@ -93,6 +93,10 @@ class ScenarioConfig:
     #: Controller graceful degradation: when True (default), bad feed
     #: samples walk the fallback ladder instead of raising.
     degradation: bool = True
+    #: Event-queue kernel: "calendar" (epoch-batched calendar queue, the
+    #: default) or "heap" (the binary-heap parity oracle).  Both execute
+    #: events in identical order, so results are kernel-independent.
+    kernel: str = "calendar"
     seed: int = 0
 
     def with_(self, **changes) -> "ScenarioConfig":
@@ -132,6 +136,10 @@ class ScenarioConfig:
             raise ValueError(
                 f"unknown storage preset {self.tiers!r}; "
                 f"expected one of {STORAGE_PRESETS.names()}"
+            )
+        if self.kernel not in ("calendar", "heap"):
+            raise ValueError(
+                f"kernel must be 'calendar' or 'heap', got {self.kernel!r}"
             )
         if self.weight_cardinality not in ("bucket", "total"):
             raise ValueError(

@@ -2,18 +2,29 @@
 
 Provides the event loop, one-shot events, timeouts, and generator-based
 processes that the storage/container/workload substrates are built on.
-The design follows the classic event-heap pattern (cancellable scheduled
-callbacks, deterministic FIFO tie-breaking at equal timestamps) so that
-every experiment is bit-reproducible for a given seed.
+Two interchangeable event-queue kernels (epoch-batched calendar queue,
+binary-heap parity oracle) execute callbacks in identical ``(time, seq)``
+order — cancellable scheduled callbacks, deterministic FIFO tie-breaking
+at equal timestamps — so every experiment is bit-reproducible for a
+given seed regardless of kernel.
 """
 
-from repro.simkernel.sim import Simulation, SimError
+from repro.simkernel.sim import (
+    SimError,
+    Simulation,
+    UnhandledFailureError,
+    UnhandledFailureWarning,
+    tick_time,
+)
 from repro.simkernel.events import Event, EventAlreadyTriggered, ScheduledCallback
 from repro.simkernel.process import Process, Timeout, Interrupt
 
 __all__ = [
     "Simulation",
     "SimError",
+    "UnhandledFailureError",
+    "UnhandledFailureWarning",
+    "tick_time",
     "Event",
     "EventAlreadyTriggered",
     "ScheduledCallback",

@@ -43,7 +43,7 @@ class ScheduledCallback:
             return
         self.cancelled = True
         if self._sim is not None:
-            self._sim._live -= 1
+            self._sim._note_cancel(self)
 
     def __lt__(self, other: "ScheduledCallback") -> bool:
         # FIFO within identical timestamps keeps runs deterministic.
@@ -61,9 +61,17 @@ class Event:
     :meth:`fail` with an exception); callbacks registered before the
     trigger run at trigger time, callbacks registered after run
     immediately.
+
+    Failures must be *retrieved* — by a callback registered before or
+    after the trigger, or by reading :attr:`exception` — otherwise the
+    simulation reports them when its queue drains (mirroring asyncio's
+    "exception was never retrieved").
+
+    Events created by :meth:`Simulation.timeout` carry the pending
+    trigger's scheduled-callback handle and can be :meth:`cancel`-led.
     """
 
-    __slots__ = ("sim", "_callbacks", "_triggered", "value", "_exception")
+    __slots__ = ("sim", "_callbacks", "_triggered", "value", "_exception", "_handle", "_retrieved")
 
     def __init__(self, sim: "Simulation") -> None:  # noqa: F821 - circular hint
         self.sim = sim
@@ -71,6 +79,10 @@ class Event:
         self._triggered = False
         self.value: Any = None
         self._exception: BaseException | None = None
+        #: Pending trigger handle (set by Simulation.timeout) — lets the
+        #: event be cancelled in O(1) before it fires.
+        self._handle: ScheduledCallback | None = None
+        self._retrieved = False
 
     @property
     def triggered(self) -> bool:
@@ -83,10 +95,36 @@ class Event:
 
     @property
     def exception(self) -> BaseException | None:
+        """The failure exception (None if pending or succeeded).
+
+        Reading it counts as retrieving the failure: the caller has seen
+        the exception, so drain-time unhandled-failure detection skips
+        this event.
+        """
+        self._retrieved = True
         return self._exception
+
+    @property
+    def cancelled(self) -> bool:
+        """True when :meth:`cancel` dropped the pending trigger."""
+        return self._handle is not None and self._handle.cancelled
+
+    def cancel(self) -> None:
+        """Drop the pending scheduled trigger (timeout events only).
+
+        O(1) and idempotent; a no-op once the event has triggered.  The
+        event then never triggers, so waiting callbacks never run.
+        Events with no pending trigger handle cannot be cancelled.
+        """
+        if self._triggered:
+            return
+        if self._handle is None:
+            raise RuntimeError(f"{self!r} has no pending trigger to cancel")
+        self._handle.cancel()
 
     def add_callback(self, fn: Callable[["Event"], None]) -> None:
         if self._triggered:
+            self._retrieved = True
             fn(self)
         else:
             self._callbacks.append(fn)
@@ -109,8 +147,14 @@ class Event:
         self._triggered = True
         self._exception = exception
         callbacks, self._callbacks = self._callbacks, []
-        for fn in callbacks:
-            fn(self)
+        if callbacks:
+            self._retrieved = True
+            for fn in callbacks:
+                fn(self)
+        else:
+            # Nobody is listening: remember the failure so the loop can
+            # report it at drain time unless someone retrieves it first.
+            self.sim._note_unhandled_failure(self)
         return self
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

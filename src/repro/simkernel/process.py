@@ -49,6 +49,8 @@ class Process:
     return value.
     """
 
+    __slots__ = ("sim", "_gen", "_done_event", "result", "_waiting_handle")
+
     def __init__(self, sim, generator: Generator) -> None:
         if not hasattr(generator, "send"):
             raise TypeError(f"Process requires a generator, got {generator!r}")
@@ -106,14 +108,15 @@ class Process:
         self._wait_on(target)
 
     def _wait_on(self, target: Any) -> None:
-        if isinstance(target, Timeout):
+        # Event first: I/O-bound processes mostly yield device events.
+        if isinstance(target, Event):
+            target.add_callback(self._on_event)
+        elif isinstance(target, Timeout):
             self._waiting_handle = self.sim.schedule(
                 target.delay, self._resume, target.value, None
             )
         elif isinstance(target, Process):
             target._done_event.add_callback(self._on_event)
-        elif isinstance(target, Event):
-            target.add_callback(self._on_event)
         else:
             exc = TypeError(f"process yielded unsupported object {target!r}")
             self.sim.schedule(0.0, self._resume, None, exc)

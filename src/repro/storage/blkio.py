@@ -260,6 +260,62 @@ def _solve_n(
     return ((fu + extra) * p).tolist(), rounds, capped_total
 
 
+#: Stream count up to which the scalar waterfill beats the vectorised one.
+#: numpy's per-call overhead (array construction, fancy indexing) costs
+#: more than a Python loop until the active set reaches a few dozen.
+_SCALAR_MAX_STREAMS = 24
+
+
+def _solve_scalar(
+    weights: Sequence[float],
+    peaks: Sequence[float],
+    caps: Sequence[float],
+    floors: Sequence[float],
+):
+    """Plain-Python waterfill for small stream sets.
+
+    Operation-for-operation the same arithmetic as :func:`_solve_n` — every
+    elementwise numpy op maps to the identical scalar expression and every
+    reduction stays in demand order — so the result is bit-identical
+    (enforced by the parity tests in ``tests/test_blkio.py``).
+    """
+    n = len(weights)
+    m = [c if c < p else p for c, p in zip(caps, peaks)]
+    fu = [(f if f < mi else mi) / p for f, mi, p in zip(floors, m, peaks)]
+    total_floor = sum(fu)
+    if total_floor > MAX_FLOOR_UTILISATION:
+        ratio = MAX_FLOOR_UTILISATION / total_floor
+        fu = [u * ratio for u in fu]
+        total_floor = MAX_FLOOR_UTILISATION
+    remaining = 1.0 - total_floor
+    headroom = [max(mi / p - u, 0.0) for mi, p, u in zip(m, peaks, fu)]
+
+    extra = [0.0] * n
+    active = list(range(n))
+    rounds = 0
+    capped_total = 0
+    while active and remaining > _EPS_REMAINING:
+        rounds += 1
+        total_w = 0.0
+        for i in active:
+            total_w += weights[i]
+        capped = [i for i in active if headroom[i] <= remaining * weights[i] / total_w * _CAP_SLACK]
+        if not capped:
+            for i in active:
+                extra[i] = remaining * weights[i] / total_w
+            break
+        capped_total += len(capped)
+        for i in capped:
+            extra[i] = headroom[i]
+        for i in capped:
+            remaining -= headroom[i]
+        remaining = max(remaining, 0.0)
+        capped_set = set(capped)
+        active = [i for i in active if i not in capped_set]
+
+    return [(u + e) * p for u, e, p in zip(fu, extra, peaks)], rounds, capped_total
+
+
 def solve_rates(
     weights: Sequence[float],
     peak_rates: Sequence[float],
@@ -283,6 +339,8 @@ def solve_rates(
             weights[0], peak_rates[0], caps[0], floors[0],
             weights[1], peak_rates[1], caps[1], floors[1],
         )
+    elif n <= _SCALAR_MAX_STREAMS:
+        rates, rounds, capped = _solve_scalar(weights, peak_rates, caps, floors)
     else:
         rates, rounds, capped = _solve_n(weights, peak_rates, caps, floors)
     if OBS.enabled:

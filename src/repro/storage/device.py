@@ -234,6 +234,9 @@ class BlockDevice:
         #: Active-stream count per cgroup: completions decide "last stream
         #: of this cgroup left" in O(1) instead of scanning every stream.
         self._cgroup_refs: dict["BlkioCgroup", int] = {}
+        #: Streams split off by the last `_sync_progress` pass, awaiting
+        #: their completion events (None when nothing finished).
+        self._finished: list[_Stream] | None = None
         #: Allocation-input generation counter: bumped whenever membership,
         #: a cgroup attribute, or the speed factor may have changed.
         self._demand_epoch = 0
@@ -407,15 +410,40 @@ class BlockDevice:
         self.reschedule()
 
     def _sync_progress(self) -> None:
+        """Accrue progress since the last sync and partition out finishers.
+
+        One pass over the streams does both the accrual and the
+        completion split (``_finished`` holds the result for
+        :meth:`_complete_finished`): this pair runs on every reschedule —
+        the hottest device path — and most calls find nothing finished.
+        Accrual order (and thus the ``bytes_moved`` float accumulation)
+        is identical to the historical two-loop form.
+        """
         now = self.sim.now
         dt = now - self._last_sync
-        if dt > 0:
-            bytes_moved = self.bytes_moved
-            for s in self._streams:
-                moved = min(s.rate * dt, s.remaining)
-                s.remaining -= moved
-                bytes_moved[s.direction] += moved
+        if dt <= 0:
+            # Zero elapsed time moves zero bytes, and every surviving
+            # stream had remaining > _COMPLETION_EPS after the previous
+            # reschedule, so there is nothing to accrue or complete.
+            self._finished = None
+            return
         self._last_sync = now
+        bytes_moved = self.bytes_moved
+        finished: list[_Stream] | None = None
+        alive: list[_Stream] = []
+        for s in self._streams:
+            moved = min(s.rate * dt, s.remaining)
+            s.remaining -= moved
+            bytes_moved[s.direction] += moved
+            if s.remaining <= _COMPLETION_EPS:
+                if finished is None:
+                    finished = []
+                finished.append(s)
+            else:
+                alive.append(s)
+        if finished is not None:
+            self._streams = alive
+        self._finished = finished
 
     # -- coalesced cgroup-change handling ----------------------------------
 
@@ -450,23 +478,34 @@ class BlockDevice:
         the coalescing flush after cgroup weight/throttle changes.
         """
         self._dirty = False
-        if self._flush_handle is not None:
-            self._flush_handle.cancel()
+        handle = self._flush_handle
+        if handle is not None:
+            handle.cancel()
             self._flush_handle = None
         self._sync_progress()
         self._complete_finished()
-        if self._completion_handle is not None:
-            self._completion_handle.cancel()
+        handle = self._completion_handle
+        if handle is not None:
+            handle.cancel()
             self._completion_handle = None
         streams = self._streams
         if not streams:
             return
-        rates = self._solve_fast() if self.fast_path else self._solve_reference()
+        # Memo-hit check inlined: most reschedules after a pure completion
+        # horizon expiry re-solve with unchanged demand inputs.
+        if not self.fast_path:
+            rates = self._solve_reference()
+        elif self._demand_epoch == self._solved_epoch:
+            rates = self._solved_rates
+        else:
+            rates = self._solve_fast()
         horizon = math.inf
         for s, rate in zip(streams, rates):
             s.rate = rate
             if rate > 0:
-                horizon = min(horizon, s.remaining / rate)
+                t = s.remaining / rate
+                if t < horizon:
+                    horizon = t
         if OBS.enabled:
             handles = self._device_obs()
             handles[2].inc(device=self.name)
@@ -553,10 +592,11 @@ class BlockDevice:
         return [rates[s.key] for s in streams]
 
     def _complete_finished(self) -> None:
-        finished = [s for s in self._streams if s.remaining <= _COMPLETION_EPS]
-        if not finished:
+        """Fire completion events for the streams `_sync_progress` split off."""
+        finished = self._finished
+        if finished is None:
             return
-        self._streams = [s for s in self._streams if s.remaining > _COMPLETION_EPS]
+        self._finished = None
         self._demand_epoch += 1
         refs = self._cgroup_refs
         now = self.sim.now

@@ -9,6 +9,13 @@ The sampler owns its pending timer: :meth:`DeviceSampler.stop` cancels it
 in O(1) (see :class:`repro.simkernel.events.ScheduledCallback`), so a
 scenario can tear its sampler down when the workload finishes instead of
 letting idle ticks pad ``samples`` and skew ``busy_fraction()``.
+
+Tick times are computed as ``start + n * interval`` (:func:`tick_time`)
+rather than accumulated with repeated ``schedule(interval)``, so tick N
+lands *exactly* at ``N * interval`` even for non-representable intervals
+— accumulated float error would land ticks at ``t ± n·ulp`` and silently
+defeat the kernel's same-timestamp epoch batching for events meant to
+coincide with weight changes.
 """
 
 from __future__ import annotations
@@ -18,7 +25,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.obs import OBS
-from repro.simkernel import Simulation
+from repro.simkernel import Simulation, tick_time
 from repro.simkernel.events import ScheduledCallback
 from repro.storage.device import BlockDevice
 from repro.util.validation import check_positive
@@ -48,12 +55,17 @@ class DeviceSampler:
     samples: list[DeviceSample] = field(default_factory=list)
     _running: bool = False
     _handle: ScheduledCallback | None = field(default=None, repr=False)
+    # Drift-free tick anchor: tick n fires at tick_time(_t0, n, interval).
+    _t0: float = field(default=0.0, repr=False)
+    _n: int = field(default=0, repr=False)
 
     def start(self) -> "DeviceSampler":
         check_positive("interval", self.interval)
         if self._running:
             raise RuntimeError("sampler already started")
         self._running = True
+        self._t0 = self.sim.now
+        self._n = 0
         self._tick()
         return self
 
@@ -87,7 +99,10 @@ class DeviceSampler:
             reg.gauge("sampler.active_streams").set(
                 sample.active_streams, device=self.device.name
             )
-        self._handle = self.sim.schedule(self.interval, self._tick)
+        self._n += 1
+        self._handle = self.sim.schedule_at(
+            tick_time(self._t0, self._n, self.interval), self._tick
+        )
 
     # -- analysis ---------------------------------------------------------
 

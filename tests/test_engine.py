@@ -298,6 +298,51 @@ class TestBehaviourFingerprints:
             == "f859e89e25e6a9772b6d64dd5c41cbaceecb53590b646ef469dd779436c174d5"
         )
 
+    # -- kernel parity: the heap oracle must hit the SAME recorded hashes --
+    #
+    # The hashes above were recorded under the binary-heap loop; the
+    # calendar kernel (now the default, exercised by the tests above)
+    # and the explicit heap kernel must both reproduce them, proving the
+    # epoch-batched rework is execution-order identical.
+
+    def test_run_scenario_heap_kernel_matches(self):
+        res = run_scenario(ScenarioConfig(max_steps=6, seed=3, kernel="heap"))
+        assert (
+            _fingerprint(res.records, [res.final_time, res.weight_history])
+            == "3303f5b2ae6bf5dd97a7b64fcd6a5aa10737915fdfbc5a9dfb52c2ae55dee80e"
+        )
+
+    def test_run_scenario_three_tier_heap_kernel_matches(self):
+        res = run_scenario(
+            ScenarioConfig(
+                max_steps=5,
+                seed=1,
+                policy="storage-only",
+                tiers="three-tier",
+                estimator="mean",
+                kernel="heap",
+            )
+        )
+        assert (
+            _fingerprint(res.records, [res.final_time])
+            == "d333e2fabe613fd0be3ab5eb75f2b7802a81847d98c94f1e201a513582760593"
+        )
+
+    def test_run_multi_scenario_heap_kernel_matches(self):
+        mres = run_multi_scenario(
+            [
+                TenantSpec("hi", priority=10.0, seed=0),
+                TenantSpec("lo", priority=1.0, seed=1),
+            ],
+            ScenarioConfig(max_steps=4, seed=5, kernel="heap"),
+        )
+        assert (
+            _fingerprint(
+                mres["hi"].records + mres["lo"].records, [mres.final_time]
+            )
+            == "1a54d4b48e4f444756a021047ced6da8c6f1618d79920e3f899f324a628fe620"
+        )
+
 
 def _sweep_configs() -> list[ScenarioConfig]:
     # 8 configs: 2 policies x 4 seeds, kept tiny so the spawn pool's

@@ -138,6 +138,36 @@ class TestDeviceSampler:
         util = sampler.utilisation(mb_per_s(200))
         assert util.max() == pytest.approx(1.0)
 
+    def test_ticks_land_exactly_on_grid(self, sim, device):
+        """Regression: tick N must land at exactly N * interval.
+
+        0.1 is not representable in binary; accumulating it with
+        repeated ``schedule(interval)`` drifts off the ``n * 0.1`` grid
+        within tens of ticks, so ticks meant to coincide with other
+        periodic events (weight changes, controller steps) stop sharing
+        their timestamp.  The fused ``tick_time`` form keeps every tick
+        bit-identical to ``n * interval``.
+        """
+        sampler = DeviceSampler(sim, device, interval=0.1).start()
+        sim.run(until=100.0)
+        times = [s.time for s in sampler.samples]
+        assert len(times) == 1001
+        for n, t in enumerate(times):
+            assert t == n * 0.1  # exact, not approx
+
+    def test_restart_reanchors_tick_grid(self, sim, device):
+        sampler = DeviceSampler(sim, device, interval=0.25).start()
+        sim.run(until=1.0)
+        sampler.stop()
+        sim.run(until=3.1415)
+        sampler.start()
+        sim.run(until=4.0)
+        restarted = [s.time for s in sampler.samples if s.time >= 3.0]
+        # Ticks resume on a fresh grid anchored at the restart instant.
+        assert restarted[0] == 3.1415
+        for n, t in enumerate(restarted):
+            assert t == 3.1415 + n * 0.25
+
 
 class TestChurn:
     def test_population_changes(self, sim):

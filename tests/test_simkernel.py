@@ -1,4 +1,11 @@
-"""Tests for repro.simkernel — the discrete-event engine."""
+"""Tests for repro.simkernel — the discrete-event engine.
+
+The module-local ``sim`` fixture overrides conftest's so every test in
+this file runs against both kernels: the epoch-batched calendar queue
+(the default) and the binary-heap parity oracle.
+"""
+
+import warnings
 
 import pytest
 
@@ -7,8 +14,17 @@ from repro.simkernel import (
     Interrupt,
     Process,
     SimError,
+    Simulation,
     Timeout,
+    UnhandledFailureError,
+    UnhandledFailureWarning,
+    tick_time,
 )
+
+
+@pytest.fixture(params=["calendar", "heap"])
+def sim(request) -> Simulation:
+    return Simulation(kernel=request.param)
 
 
 class TestScheduling:
@@ -299,3 +315,176 @@ class TestLiveCounter:
         sim.run()
         assert fired == [2, 4]
         assert sim.pending_count == 0
+
+
+class TestLazyCancelCompaction:
+    """Cancelled entries must not accumulate in the physical queue.
+
+    Regression for the lazy-cancellation heap leak: a workload that
+    schedules and immediately cancels (retry deadlines, watchdogs) used
+    to grow the queue without bound because cancelled entries were only
+    dropped when they surfaced at the head — arbitrarily late for
+    far-future deadlines.
+    """
+
+    def test_queue_length_bounded_under_cancel_churn(self, sim):
+        for t in range(1, 6):
+            sim.schedule(1000.0 + t, lambda: None)
+        for _ in range(5000):
+            sim.schedule(500.0, lambda: None).cancel()
+        assert sim.pending_count == 5
+        # Whether dropped by explicit compaction (heap kernel) or by the
+        # calendar's migrate/resize filtering, the physical queue must
+        # stay bounded by the compaction trigger, far below the 5000
+        # cancels issued.
+        assert sim._queue_len() <= 200
+
+    def test_counters_survive_compaction(self, sim):
+        fired = []
+        for t in range(1, 11):
+            sim.schedule(float(t), fired.append, t)
+        for h in [sim.schedule(50.0, lambda: None) for _ in range(300)]:
+            h.cancel()
+        assert sim.kernel_stats()["compactions"] >= 1
+        assert sim.pending_count == 10
+        sim.run()
+        assert fired == list(range(1, 11))
+        assert sim.events_executed == 10
+        assert sim.pending_count == 0
+        assert sim._queue_len() == 0
+
+    def test_cancel_inside_ready_batch(self, sim):
+        """A callback cancelling a same-timestamp sibling must win."""
+        fired = []
+        handles = {}
+
+        def killer():
+            fired.append("killer")
+            handles["victim"].cancel()
+
+        sim.schedule(1.0, killer)
+        handles["victim"] = sim.schedule(1.0, fired.append, "victim")
+        sim.run()
+        assert fired == ["killer"]
+        assert sim.pending_count == 0
+
+
+class TestTickTime:
+    """tick_time computes periodic instants without cumulative drift."""
+
+    def test_fused_multiply_identity(self):
+        assert tick_time(2.0, 7, 0.25) == 2.0 + 7 * 0.25
+        assert tick_time(0.0, 0, 0.1) == 0.0
+
+    def test_beats_accumulation_drift(self):
+        # Repeated += of 0.1 drifts off the grid; the fused form stays
+        # within one rounding of the exact product.
+        acc = 5.0
+        for _ in range(1000):
+            acc += 0.1
+        assert abs(tick_time(5.0, 1000, 0.1) - 105.0) <= abs(acc - 105.0)
+        assert tick_time(5.0, 1000, 0.1) == 5.0 + 1000 * 0.1
+
+
+class TestUnhandledFailures:
+    """Event.fail() with nobody listening is reported at drain time."""
+
+    def test_unretrieved_failure_warns_at_drain(self, sim):
+        sim.schedule(1.0, lambda: sim.event().fail(RuntimeError("lost")))
+        with pytest.warns(UnhandledFailureWarning, match="never retrieved"):
+            sim.run()
+
+    @pytest.mark.parametrize("kernel", ["calendar", "heap"])
+    def test_raise_mode(self, kernel):
+        s = Simulation(kernel=kernel, on_unhandled_failure="raise")
+        ev = s.event()
+        s.schedule(1.0, ev.fail, RuntimeError("boom"))
+        with pytest.raises(UnhandledFailureError):
+            s.run()
+
+    @pytest.mark.parametrize("kernel", ["calendar", "heap"])
+    def test_ignore_mode(self, kernel):
+        s = Simulation(kernel=kernel, on_unhandled_failure="ignore")
+        ev = s.event()
+        s.schedule(1.0, ev.fail, RuntimeError("boom"))
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            s.run()
+
+    def test_callback_at_fail_time_retrieves(self, sim):
+        ev = sim.event()
+        ev.add_callback(lambda e: None)
+        sim.schedule(1.0, ev.fail, RuntimeError("handled"))
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            sim.run()
+
+    def test_reading_exception_retrieves(self, sim):
+        ev = sim.event()
+        sim.schedule(1.0, ev.fail, RuntimeError("seen"))
+        sim.schedule(2.0, lambda: ev.exception)
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            sim.run()
+
+    def test_late_callback_retrieves(self, sim):
+        ev = sim.event()
+        sim.schedule(1.0, ev.fail, RuntimeError("late"))
+        sim.schedule(2.0, ev.add_callback, lambda e: None)
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            sim.run()
+
+    def test_process_yield_retrieves(self, sim):
+        ev = sim.event()
+
+        def proc():
+            try:
+                yield ev
+            except RuntimeError:
+                pass
+
+        sim.process(proc())
+        sim.schedule(1.0, ev.fail, RuntimeError("io error"))
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            sim.run()
+
+    def test_invalid_failure_mode_rejected(self):
+        with pytest.raises(SimError):
+            Simulation(on_unhandled_failure="explode")
+
+    def test_invalid_kernel_rejected(self):
+        with pytest.raises(SimError):
+            Simulation(kernel="wheel")
+
+
+class TestTimeoutCancel:
+    """Simulation.timeout returns a cancellable event."""
+
+    def test_cancel_drops_pending_trigger(self, sim):
+        fired = []
+        ev = sim.timeout(5.0, "late")
+        ev.add_callback(lambda e: fired.append(e.value))
+        ev.cancel()
+        sim.run()
+        assert fired == []
+        assert not ev.triggered
+        assert ev.cancelled
+        assert sim.pending_count == 0
+
+    def test_cancel_is_idempotent(self, sim):
+        ev = sim.timeout(5.0)
+        ev.cancel()
+        ev.cancel()
+        assert sim.pending_count == 0
+
+    def test_cancel_after_trigger_is_noop(self, sim):
+        ev = sim.timeout(1.0, "done")
+        sim.run()
+        ev.cancel()
+        assert ev.triggered and ev.value == "done"
+
+    def test_plain_event_cancel_rejected(self, sim):
+        with pytest.raises(RuntimeError):
+            sim.event().cancel()
