@@ -13,13 +13,13 @@ def test_table2(benchmark, emit):
     text = benchmark.pedantic(table2_text, rounds=1, iterations=1)
     emit("table2", text)
     # Only Tango covers both layers.
-    tango_rows = [l for l in text.splitlines() if l.startswith("Tango")]
+    tango_rows = [ln for ln in text.splitlines() if ln.startswith("Tango")]
     assert len(tango_rows) == 1 and tango_rows[0].count("yes") == 2
     others = [
-        l for l in text.splitlines()
-        if l and not l.startswith(("Tango", "Work", "-", "Table"))
+        ln for ln in text.splitlines()
+        if ln and not ln.startswith(("Tango", "Work", "-", "Table"))
     ]
-    assert all(l.count("yes") <= 1 for l in others)
+    assert all(ln.count("yes") <= 1 for ln in others)
 
 
 def test_table4(benchmark, emit):

@@ -29,19 +29,28 @@ from repro.core.refactor import Decomposition, decompose, levels_for_decimation
 from repro.core.serialize import pack_ladder, unpack_ladder, unpack_partial
 from repro.core.weights import WeightFunction, calibrate_weight_function
 
+# -- QoS data plane --------------------------------------------------------
+from repro.dataplane import DataPlane, QosPolicy, SloTarget, TokenBucket
+
 # -- scenario engine -------------------------------------------------------
 from repro.engine.registry import (
     APPS,
+    CLASSIFY_STAGES,
+    ENFORCE_STAGES,
     ESTIMATORS,
     FAULT_CAMPAIGNS,
     PLACEMENTS,
     POLICIES,
+    SCHEDULE_STAGES,
     STORAGE_PRESETS,
     register_app,
+    register_classify_stage,
+    register_enforce_stage,
     register_estimator,
     register_fault_campaign,
     register_placement,
     register_policy,
+    register_schedule_stage,
     register_storage_preset,
 )
 from repro.engine.session import ScenarioSession, make_weight_function
@@ -50,6 +59,7 @@ from repro.engine.sweep import ScenarioSummary, SweepExecutor
 # -- experiments -----------------------------------------------------------
 from repro.experiments.campaign import CampaignConfig, CampaignResult, run_campaign
 from repro.experiments.config import ScenarioConfig
+from repro.experiments.qosplane import QosPlaneResult, run_qosplane
 from repro.experiments.resilience import ResilienceResult, run_resilience
 from repro.experiments.runner import ScenarioResult, run_scenario
 
@@ -90,6 +100,17 @@ __all__ = [
     "psnr",
     "unpack_ladder",
     "unpack_partial",
+    # QoS data plane
+    "CLASSIFY_STAGES",
+    "ENFORCE_STAGES",
+    "SCHEDULE_STAGES",
+    "DataPlane",
+    "QosPolicy",
+    "SloTarget",
+    "TokenBucket",
+    "register_classify_stage",
+    "register_enforce_stage",
+    "register_schedule_stage",
     # scenario engine
     "APPS",
     "ESTIMATORS",
@@ -110,10 +131,12 @@ __all__ = [
     # experiments
     "CampaignConfig",
     "CampaignResult",
+    "QosPlaneResult",
     "ResilienceResult",
     "ScenarioConfig",
     "ScenarioResult",
     "run_campaign",
+    "run_qosplane",
     "run_resilience",
     "run_scenario",
     # resilience layer

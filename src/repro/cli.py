@@ -139,6 +139,12 @@ def _resilience(fast: bool, workers=1):
     return run_resilience(max_steps=20 if fast else 40)
 
 
+def _qosplane(fast: bool, workers=1):
+    from repro.experiments.qosplane import run_qosplane
+
+    return run_qosplane(max_steps=8 if fast else 20)
+
+
 #: Regenerable paper artifacts: name -> callable(fast, workers=1).
 #: ``workers`` fans grid sweeps out over a SweepExecutor process pool
 #: where the underlying figure supports it; the rest ignore it.
@@ -160,6 +166,7 @@ FIGURES: dict[str, Callable[..., object]] = {
     "threetier": _threetier,
     "campaign": _campaign,
     "resilience": _resilience,
+    "qosplane": _qosplane,
 }
 
 

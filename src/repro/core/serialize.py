@@ -211,7 +211,7 @@ def _unpack(payload: bytes) -> tuple[AccuracyLadder, int, int]:
     dec = Decomposition(
         base=np.array(base, dtype=work_dtype),
         augmentations=[
-            np.zeros(shapes[l], dtype=work_dtype) for l in range(num_levels - 1)
+            np.zeros(shapes[lvl], dtype=work_dtype) for lvl in range(num_levels - 1)
         ],
         shapes=shapes,
         d=(header["stride"] if isinstance(header["stride"], int)

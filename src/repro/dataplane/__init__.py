@@ -1,0 +1,27 @@
+"""Programmable QoS data plane: declarative per-tenant I/O policy.
+
+The cross-layer control point generalised (PAIO-style): container I/O is
+classified to a tenant, a declarative :class:`QosPolicy` is enforced
+(blkio weight, rate caps, token-bucket shaping), and a schedule stage
+decides when the request reaches the device — each stage a string-keyed
+registry component, swappable per scenario via
+``ScenarioConfig.stage_stack``.  See ``docs/architecture.md``
+§"QoS data plane".
+"""
+
+from repro.dataplane.pipeline import DEFAULT_STAGE_STACK, DataPlane
+from repro.dataplane.policy import PRIORITY_CLASSES, QosPolicy, SloTarget, TokenBucket
+from repro.dataplane.slo import SloBoard, SloTracker
+from repro.dataplane.stages import IORequest
+
+__all__ = [
+    "DEFAULT_STAGE_STACK",
+    "DataPlane",
+    "IORequest",
+    "PRIORITY_CLASSES",
+    "QosPolicy",
+    "SloBoard",
+    "SloTracker",
+    "SloTarget",
+    "TokenBucket",
+]

@@ -1,0 +1,297 @@
+"""Built-in data-plane stages (classify → enforce → schedule).
+
+Each stage kind has its own registry in :mod:`repro.engine.registry`
+(``CLASSIFY_STAGES`` / ``ENFORCE_STAGES`` / ``SCHEDULE_STAGES``); a stage
+is created per plane by ``factory(config)`` where ``config`` is the
+scenario config, duck-typed.  The contracts are small:
+
+* **classify**: ``classify(plane, request)`` fills ``request.tenant``
+  and ``request.policy`` (None when the tenant has no policy);
+* **enforce**: ``enforce(plane, request) -> float`` applies the policy's
+  control-plane knobs (weight, caps) and returns the traffic-shaping
+  delay in simulated seconds (0.0 = admit now);
+* **schedule**: ``dispatch(plane, request, delay) -> Event`` decides
+  when the request reaches the device and returns the event the caller
+  waits on.
+
+The default stack ``("cgroup", "blkio", "fifo")`` re-expresses today's
+hard-wired mechanism: tenants are cgroups, the enforcer pushes the
+declarative weight/cap fields through the same cgroup interface the
+controller uses, and the FIFO scheduler hands an unshaped request to the
+device *synchronously* — with no policy configured every request takes
+the exact event path it took before the plane existed, which is what the
+pinned fingerprints in ``tests/test_engine.py`` and
+``tests/test_dataplane_guard.py`` enforce.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from repro.dataplane.policy import TokenBucket
+from repro.engine.registry import (
+    register_classify_stage,
+    register_enforce_stage,
+    register_schedule_stage,
+)
+from repro.obs import OBS
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.dataplane.pipeline import DataPlane
+    from repro.dataplane.policy import QosPolicy
+    from repro.simkernel import Event
+    from repro.storage.cgroup import BlkioCgroup
+    from repro.storage.device import BlockDevice
+
+__all__ = [
+    "IORequest",
+    "CgroupClassifier",
+    "DirectionClassifier",
+    "BlkioEnforcer",
+    "NullEnforcer",
+    "FifoScheduler",
+    "PriorityScheduler",
+]
+
+_PRIORITY_RANK = {"low": 0, "normal": 1, "high": 2}
+
+
+@dataclass(slots=True)
+class IORequest:
+    """One submission travelling through the pipeline."""
+
+    device: "BlockDevice"
+    cgroup: "BlkioCgroup"
+    nbytes: int
+    direction: str
+    extents: int
+    submitted_at: float
+    seq: int
+    tenant: str | None = None
+    policy: "QosPolicy | None" = None
+
+    @property
+    def priority_rank(self) -> int:
+        """Admission preference (higher dispatches first)."""
+        if self.policy is None:
+            return _PRIORITY_RANK["normal"]
+        return _PRIORITY_RANK[self.policy.priority]
+
+
+def _forward(source: "Event", proxy: "Event") -> None:
+    """Propagate a device event's outcome onto the caller-held proxy."""
+
+    def relay(ev: "Event") -> None:
+        if ev.ok:
+            proxy.succeed(ev.value)
+        else:
+            proxy.fail(ev.exception)
+
+    source.add_callback(relay)
+
+
+# -- classify ---------------------------------------------------------------
+
+
+@register_classify_stage("cgroup")
+class CgroupClassifier:
+    """Default: the tenant *is* the cgroup (container) name."""
+
+    def __init__(self, config=None) -> None:
+        pass
+
+    def classify(self, plane: "DataPlane", req: IORequest) -> None:
+        req.tenant = req.cgroup.name
+        req.policy = plane.policies.get(req.tenant)
+
+
+@register_classify_stage("cgroup-direction")
+class DirectionClassifier:
+    """Split each cgroup into per-direction tenants (``name:read``).
+
+    Policy lookup falls back to the bare cgroup name, so one policy can
+    cover both directions while e.g. only writes get a shaping override.
+    """
+
+    def __init__(self, config=None) -> None:
+        pass
+
+    def classify(self, plane: "DataPlane", req: IORequest) -> None:
+        tenant = f"{req.cgroup.name}:{req.direction}"
+        req.tenant = tenant
+        policy = plane.policies.get(tenant)
+        if policy is None:
+            policy = plane.policies.get(req.cgroup.name)
+        req.policy = policy
+
+
+# -- enforce ----------------------------------------------------------------
+
+
+@register_enforce_stage("blkio")
+class BlkioEnforcer:
+    """Default: push policy knobs through the cgroup blkio interface.
+
+    * ``weight`` is written once, at the tenant's first classified I/O —
+      it sets the *initial* proportional share; runtime controllers (the
+      Tango adaptation loop) remain free to adjust it afterwards without
+      the enforcer fighting them back.
+    * ``read_cap_bps`` / ``write_cap_bps`` are installed once per
+      (tenant, device), mirroring ``blkio.throttle.*_bps_device``.
+    * ``rate_bps`` shapes admissions through a per-tenant
+      :class:`~repro.dataplane.policy.TokenBucket` (burst =
+      ``burst_bytes``, default one second of rate) and returns the
+      resulting delay for the schedule stage to apply.
+    """
+
+    def __init__(self, config=None) -> None:
+        self._weight_done: set[str] = set()
+        self._caps_done: set[tuple[str, str]] = set()
+        self._buckets: dict[str, TokenBucket] = {}
+
+    def enforce(self, plane: "DataPlane", req: IORequest) -> float:
+        policy = req.policy
+        if policy is None:
+            return 0.0
+        tenant = req.tenant
+        now = plane.sim.now
+        if policy.weight is not None and tenant not in self._weight_done:
+            self._weight_done.add(tenant)
+            if req.cgroup.blkio_weight != policy.weight:
+                req.cgroup.set_blkio_weight(policy.weight, now=now)
+            if OBS.enabled:
+                OBS.registry.counter("dataplane.enforce.weights_applied").inc(
+                    tenant=tenant
+                )
+        if policy.read_cap_bps is not None or policy.write_cap_bps is not None:
+            key = (tenant, req.device.name)
+            if key not in self._caps_done:
+                self._caps_done.add(key)
+                if policy.read_cap_bps is not None:
+                    req.cgroup.set_throttle(req.device, "read", policy.read_cap_bps)
+                if policy.write_cap_bps is not None:
+                    req.cgroup.set_throttle(req.device, "write", policy.write_cap_bps)
+                if OBS.enabled:
+                    OBS.registry.counter("dataplane.enforce.caps_applied").inc(
+                        tenant=tenant, device=req.device.name
+                    )
+        if policy.rate_bps is None or req.nbytes == 0:
+            return 0.0
+        bucket = self._buckets.get(tenant)
+        if bucket is None:
+            bucket = TokenBucket(policy.capacity_bytes, policy.rate_bps, start=now)
+            self._buckets[tenant] = bucket
+        delay = bucket.reserve(req.nbytes, now)
+        if delay > 0.0 and OBS.enabled:
+            reg = OBS.registry
+            reg.counter("dataplane.enforce.shaped").inc(tenant=tenant)
+            reg.counter("dataplane.enforce.shaping_delay_s").inc(delay, tenant=tenant)
+        return delay
+
+
+@register_enforce_stage("none")
+class NullEnforcer:
+    """Ablation baseline: classify tenants but enforce nothing."""
+
+    def __init__(self, config=None) -> None:
+        pass
+
+    def enforce(self, plane: "DataPlane", req: IORequest) -> float:
+        return 0.0
+
+
+# -- schedule ---------------------------------------------------------------
+
+
+@register_schedule_stage("fifo")
+class FifoScheduler:
+    """Default: dispatch in arrival order, honouring shaping delays.
+
+    An unshaped request goes to the device synchronously and its device
+    event is returned as-is — zero added events, zero added callbacks,
+    which keeps the no-policy path bit-identical to the pre-dataplane
+    submit.  A shaped request gets a proxy event that mirrors the device
+    event once the delay elapses.
+    """
+
+    def __init__(self, config=None) -> None:
+        pass
+
+    def dispatch(self, plane: "DataPlane", req: IORequest, delay: float) -> "Event":
+        if delay <= 0.0:
+            return plane.device_submit(req)
+        proxy = plane.sim.event()
+        plane.sim.schedule(delay, self._release, plane, req, proxy)
+        return proxy
+
+    @staticmethod
+    def _release(plane: "DataPlane", req: IORequest, proxy: "Event") -> None:
+        _forward(plane.device_submit(req), proxy)
+
+
+@register_schedule_stage("priority")
+class PriorityScheduler:
+    """Admission control: at most ``config.max_inflight`` requests per
+    device, dispatched by priority class (then FIFO within a class).
+
+    Queued requests wait for a completion to free a slot; a shaped
+    request joins the queue only after its shaping delay.  With
+    ``max_inflight=None`` the stage degenerates to priority-tagged FIFO
+    (nothing ever queues, since the device itself multiplexes).
+    """
+
+    def __init__(self, config=None) -> None:
+        limit = getattr(config, "max_inflight", None)
+        if limit is not None and limit < 1:
+            raise ValueError(f"max_inflight must be >= 1, got {limit!r}")
+        self.max_inflight = limit
+        self._inflight: dict[str, int] = {}
+        self._queues: dict[str, list] = {}
+
+    def dispatch(self, plane: "DataPlane", req: IORequest, delay: float) -> "Event":
+        proxy = plane.sim.event()
+        if delay > 0.0:
+            plane.sim.schedule(delay, self._arrive, plane, req, proxy)
+        else:
+            self._arrive(plane, req, proxy)
+        return proxy
+
+    def _arrive(self, plane: "DataPlane", req: IORequest, proxy: "Event") -> None:
+        dev = req.device.name
+        limit = self.max_inflight
+        if limit is None or self._inflight.get(dev, 0) < limit:
+            self._launch(plane, req, proxy)
+            return
+        # Max-heap on priority via negated rank; seq breaks ties FIFO.
+        heapq.heappush(
+            self._queues.setdefault(dev, []),
+            (-req.priority_rank, req.seq, req, proxy),
+        )
+        if OBS.enabled:
+            OBS.registry.counter("dataplane.schedule.queued").inc(
+                tenant=req.tenant or "?", device=dev
+            )
+
+    def _launch(self, plane: "DataPlane", req: IORequest, proxy: "Event") -> None:
+        dev = req.device.name
+        self._inflight[dev] = self._inflight.get(dev, 0) + 1
+        if OBS.enabled:
+            OBS.registry.counter("dataplane.schedule.dispatched").inc(
+                tenant=req.tenant or "?", device=dev
+            )
+        ev = plane.device_submit(req)
+        ev.add_callback(lambda _ev: self._done(plane, dev))
+        _forward(ev, proxy)
+
+    def _done(self, plane: "DataPlane", dev: str) -> None:
+        self._inflight[dev] -= 1
+        queue = self._queues.get(dev)
+        if queue:
+            _, _, req, proxy = heapq.heappop(queue)
+            self._launch(plane, req, proxy)
+
+    def queued_count(self, device_name: str) -> int:
+        """Requests currently waiting for an admission slot."""
+        return len(self._queues.get(device_name, ()))

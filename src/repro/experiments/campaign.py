@@ -18,7 +18,7 @@ from repro.apps.synthetic import field_time_series
 from repro.core.error_control import ErrorMetric, build_ladder
 from repro.core.refactor import decompose, levels_for_decimation
 from repro.engine.session import ScenarioSession, make_weight_function
-from repro.experiments.config import DEFAULTS, ScenarioConfig
+from repro.experiments.config import DEFAULTS, ScenarioConfig, _validate_dataplane_fields
 from repro.experiments.report import format_table, sparkline
 from repro.util.validation import rename_deprecated, warn_deprecated
 from repro.workloads.analytics import StepRecord
@@ -49,6 +49,12 @@ class CampaignConfig:
     #: Fault campaign name from the FAULT_CAMPAIGNS registry, or None.
     faults: str | None = None
     estimation_interval: int = DEFAULTS.estimation_interval
+    #: QoS data-plane stage stack / per-tenant policies / admission limit
+    #: (same semantics as the ScenarioConfig fields — campaigns are a
+    #: config axis for the data plane too).
+    stage_stack: tuple[str, str, str] = ("cgroup", "blkio", "fifo")
+    qos_policies: tuple = ()
+    max_inflight: int | None = None
     seed: int = 0
 
     def __post_init__(self) -> None:
@@ -68,6 +74,7 @@ class CampaignConfig:
                     f"unknown fault campaign {self.faults!r}; "
                     f"expected one of {FAULT_CAMPAIGNS.names()}"
                 )
+        _validate_dataplane_fields(self)
 
 
 # ``ladder_bounds`` → ``error_bounds`` migration shim (see ScenarioConfig).
@@ -173,6 +180,9 @@ def _scenario_config(cfg: CampaignConfig) -> ScenarioConfig:
         priority=cfg.priority,
         estimation_interval=cfg.estimation_interval,
         faults=cfg.faults,
+        stage_stack=cfg.stage_stack,
+        qos_policies=cfg.qos_policies,
+        max_inflight=cfg.max_inflight,
         seed=cfg.seed,
     )
 

@@ -90,6 +90,18 @@ class ScenarioConfig:
     #: Retry/backoff policy for the analytics reader; None means the
     #: legacy one-retry-then-skip default.
     retry: RetryPolicy | None = None
+    #: QoS data-plane stage stack: (classify, enforce, schedule) names
+    #: from the CLASSIFY/ENFORCE/SCHEDULE_STAGES registries.  The default
+    #: re-expresses the legacy weight/throttle mechanism bit-identically.
+    stage_stack: tuple[str, str, str] = ("cgroup", "blkio", "fifo")
+    #: Declarative per-tenant QoS policies as (tenant, QosPolicy) pairs —
+    #: a tuple (not a dict) so configs stay hashable and sweepable.
+    #: Tenant names are whatever the classify stage produces (container
+    #: names for the default "cgroup" classifier).
+    qos_policies: tuple = ()
+    #: Admission limit for the "priority" schedule stage (requests in
+    #: flight per device); None = unlimited.
+    max_inflight: int | None = None
     #: Controller graceful degradation: when True (default), bad feed
     #: samples walk the fallback ladder instead of raising.
     degradation: bool = True
@@ -154,6 +166,45 @@ class ScenarioConfig:
                     f"unknown fault campaign {self.faults!r}; "
                     f"expected one of {FAULT_CAMPAIGNS.names()}"
                 )
+        _validate_dataplane_fields(self)
+
+
+def _validate_dataplane_fields(config) -> None:
+    """Shared stage-stack/policy validation (ScenarioConfig + CampaignConfig)."""
+    from repro.engine.registry import CLASSIFY_STAGES, ENFORCE_STAGES, SCHEDULE_STAGES
+
+    stack = config.stage_stack
+    if len(stack) != 3:
+        raise ValueError(
+            f"stage_stack must be (classify, enforce, schedule), got {stack!r}"
+        )
+    for name, registry in zip(stack, (CLASSIFY_STAGES, ENFORCE_STAGES, SCHEDULE_STAGES)):
+        if name not in registry:
+            raise ValueError(
+                f"unknown {registry.kind} {name!r}; expected one of {registry.names()}"
+            )
+    # Imported lazily — the dataplane package pulls in storage modules
+    # that are heavyweight relative to a config-only import.
+    from repro.dataplane.policy import QosPolicy
+
+    seen = set()
+    for entry in config.qos_policies:
+        if not (isinstance(entry, tuple) and len(entry) == 2):
+            raise ValueError(
+                f"qos_policies entries must be (tenant, QosPolicy) pairs, got {entry!r}"
+            )
+        tenant, policy = entry
+        if not tenant or not isinstance(tenant, str):
+            raise ValueError(f"qos_policies tenant must be a non-empty string, got {tenant!r}")
+        if not isinstance(policy, QosPolicy):
+            raise ValueError(
+                f"qos_policies[{tenant!r}] must be a QosPolicy, got {policy!r}"
+            )
+        if tenant in seen:
+            raise ValueError(f"duplicate qos_policies tenant {tenant!r}")
+        seen.add(tenant)
+    if config.max_inflight is not None and config.max_inflight < 1:
+        raise ValueError(f"max_inflight must be >= 1, got {config.max_inflight}")
 
 
 # -- deprecation shims ----------------------------------------------------

@@ -142,9 +142,8 @@ def run_threetier(
         hdd_buckets = 0
         for rep in range(replications):
             cfg = cfg0.with_(seed=seed + rep)
-            factory = lambda sim, n=nvme: TieredStorage(
-                sim, _constrained_specs(ssd_cap, n)
-            )
+            def factory(sim, n=nvme):
+                return TieredStorage(sim, _constrained_specs(ssd_cap, n))
             res = run_scenario(cfg, storage_factory=factory, placement="capacity")
             means.append(res.mean_io_time)
             stds.append(res.std_io_time)

@@ -45,6 +45,7 @@ from typing import Sequence
 import numpy as np
 
 from repro.obs import OBS
+from repro.storage.limits import validate_demand
 
 __all__ = [
     "StreamDemand",
@@ -85,16 +86,7 @@ class StreamDemand:
     floor: float = 0.0
 
     def __post_init__(self) -> None:
-        if self.weight <= 0 or not math.isfinite(self.weight):
-            raise ValueError(f"weight must be finite and > 0, got {self.weight!r}")
-        if self.peak_rate <= 0 or not math.isfinite(self.peak_rate):
-            raise ValueError(f"peak_rate must be finite and > 0, got {self.peak_rate!r}")
-        # NaN must be rejected explicitly: ``nan <= 0`` is False, and a NaN
-        # cap would otherwise poison min(cap, peak_rate) into NaN rates.
-        if math.isnan(self.cap) or self.cap <= 0:
-            raise ValueError(f"cap must be > 0 (inf = uncapped), got {self.cap!r}")
-        if self.floor < 0 or not math.isfinite(self.floor):
-            raise ValueError(f"floor must be finite and >= 0, got {self.floor!r}")
+        validate_demand(self.weight, self.peak_rate, self.cap, self.floor)
 
 
 # -- cached observability handles -----------------------------------------

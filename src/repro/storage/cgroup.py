@@ -18,8 +18,8 @@ from __future__ import annotations
 import math
 from typing import TYPE_CHECKING
 
-from repro.core.weights import BLKIO_WEIGHT_MAX, BLKIO_WEIGHT_MIN
 from repro.obs import OBS
+from repro.storage.limits import normalize_throttle, normalize_weight
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.storage.device import BlockDevice
@@ -34,21 +34,11 @@ class BlkioCgroup:
 
     def __init__(self, name: str, weight: int = DEFAULT_BLKIO_WEIGHT) -> None:
         self.name = name
-        self._weight = self._validate_weight(weight)
+        self._weight = normalize_weight(weight)
         self._throttles: dict[tuple[str, str], float] = {}
         self._active_devices: set["BlockDevice"] = set()
         #: (time, weight) pairs for every runtime adjustment (Fig. 15).
         self.weight_history: list[tuple[float, int]] = []
-
-    @staticmethod
-    def _validate_weight(weight: int) -> int:
-        weight = int(weight)
-        if not BLKIO_WEIGHT_MIN <= weight <= BLKIO_WEIGHT_MAX:
-            raise ValueError(
-                f"blkio weight must be in [{BLKIO_WEIGHT_MIN}, {BLKIO_WEIGHT_MAX}], "
-                f"got {weight}"
-            )
-        return weight
 
     @property
     def blkio_weight(self) -> int:
@@ -57,7 +47,7 @@ class BlkioCgroup:
     def set_blkio_weight(self, weight: int, *, now: float | None = None) -> None:
         """Adjust the proportional weight at runtime."""
         old = self._weight
-        self._weight = self._validate_weight(weight)
+        self._weight = normalize_weight(weight)
         if now is not None:
             self.weight_history.append((now, self._weight))
         if OBS.enabled:
@@ -83,9 +73,7 @@ class BlkioCgroup:
         if bps is None:
             self._throttles.pop(key, None)
         else:
-            if bps <= 0:
-                raise ValueError(f"throttle bps must be > 0, got {bps!r}")
-            self._throttles[key] = float(bps)
+            self._throttles[key] = normalize_throttle(bps)
         self._notify_devices()
 
     def throttle_bps(self, device: "BlockDevice", direction: str) -> float:

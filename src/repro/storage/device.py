@@ -248,6 +248,10 @@ class BlockDevice:
         self._dirty = False
         self._flush_handle = None
         self._obs_cache: tuple | None = None
+        #: QoS data plane this device routes submissions through (set by
+        #: :meth:`repro.dataplane.pipeline.DataPlane.attach`; None =
+        #: direct submission, the legacy path).
+        self.dataplane = None
 
     @property
     def speed_factor(self) -> float:
@@ -351,6 +355,12 @@ class BlockDevice:
         immediately without seeking — unless fault injection is armed, in
         which case they consume an injected failure like any other request
         (see :meth:`inject_failures`).
+
+        When a :class:`~repro.dataplane.pipeline.DataPlane` is attached,
+        the request routes through its classify → enforce → schedule
+        stages instead of reaching the medium directly; the default
+        stage stack hands unshaped requests straight back to
+        :meth:`_submit_direct`, preserving the legacy event sequence.
         """
         if nbytes < 0:
             raise ValueError(f"nbytes must be >= 0, got {nbytes}")
@@ -358,8 +368,27 @@ class BlockDevice:
             raise ValueError(f"direction must be 'read' or 'write', got {direction!r}")
         if extents < 1:
             raise ValueError(f"extents must be >= 1, got {extents}")
+        plane = self.dataplane
+        if plane is not None:
+            return plane.submit(self, cgroup, nbytes, direction, extents)
+        return self._submit_direct(cgroup, nbytes, direction, extents, self.sim.now)
+
+    def _submit_direct(
+        self,
+        cgroup: "BlkioCgroup",
+        nbytes: int,
+        direction: Direction,
+        extents: int,
+        submitted: float,
+    ) -> Event:
+        """Inject a validated request into the device, bypassing any plane.
+
+        ``submitted`` is the original submission timestamp: a schedule
+        stage that delayed the request passes the time the caller
+        submitted it, so queueing/shaping delay counts into the
+        completion's :attr:`IOStats.elapsed` (and thus into SLO latency).
+        """
         ev = self.sim.event()
-        submitted = self.sim.now
         latency = extents * self.spec.seek_time
         if self._pending_failures > 0:
             # Checked before the zero-byte shortcut: injected failures hit
@@ -372,7 +401,8 @@ class BlockDevice:
             )
             return ev
         if nbytes == 0:
-            stats = IOStats(0, submitted, submitted, submitted)
+            now = self.sim.now
+            stats = IOStats(0, submitted, now, now)
             self.sim.schedule(0.0, ev.succeed, stats)
             return ev
         self.sim.schedule(latency, self._start_stream, cgroup, nbytes, direction, submitted, ev)

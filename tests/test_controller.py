@@ -129,7 +129,8 @@ class TestControllerLoop:
     def test_periodic_signal_predicted(self, ladder, abplot):
         """The controller tracks a periodic bandwidth pattern."""
         ctrl = self.make(ladder, abplot, min_history=8, estimation_interval=100)
-        bw = lambda s: mb_per_s(80 + 40 * np.sin(2 * np.pi * s / 8))
+        def bw(s):
+            return mb_per_s(80 + 40 * np.sin(2 * np.pi * s / 8))
         for s in range(16):
             ctrl.observe(s, bw(s))
         pred, fitted = ctrl.predict_bandwidth(20)

@@ -1,0 +1,111 @@
+"""Zero-overhead guard: the data plane must not change the default path.
+
+Every session now routes device submissions through a
+``("cgroup", "blkio", "fifo")`` :class:`~repro.dataplane.DataPlane`, so
+these fingerprints — recorded on the pre-dataplane tree — pin the claim
+that with *no policy configured* the plane is invisible: bit-identical
+event sequences, event counts, and byte accounting.
+
+Two oracles, chosen for coverage of both regimes:
+
+* **fig07** (noise + analytics on the capacity tier, 12 steps): the
+  scenario engine path, i.e. every submission goes through
+  ``ScenarioSession``'s plane.
+* **stress16** (the ``experiments/bench.py`` blkio stress recipe at a
+  30 s horizon, fast path and reference solver): the raw device path,
+  run twice — bare, and with a default plane attached — asserting the
+  *same* fingerprint for both.
+
+If a refactor legitimately changes behaviour these hashes move together
+with the ones in ``tests/test_engine.py`` and must be re-recorded in the
+same commit, with the diff explained.
+"""
+
+import hashlib
+import json
+
+from repro.dataplane import DataPlane
+from repro.simkernel import Simulation, Timeout
+from repro.storage.cgroup import CgroupController
+from repro.storage.device import DEVICE_PRESETS, BlockDevice
+from repro.util.units import MiB
+
+# Recorded on the seed tree (commit 8be0c54), before repro.dataplane
+# existed.
+FIG07_SEED_HASH = "95a1ac632f4d86427362c2e64cc0828da41a8b7ae66840c9f63d68de8f451c28"
+STRESS16_FAST_HASH = "5e37dea7b88537779c15e3006a1f41b4b743318e840d0a8d85c1a8ad4637c3d8"
+STRESS16_REFERENCE_HASH = (
+    "91ad8ccf78999c2ca13521adbb896c538c4f94082a307565c50f43e2fbed557d"
+)
+
+
+def _sha(payload: str) -> str:
+    return hashlib.sha256(payload.encode()).hexdigest()
+
+
+def test_fig07_fingerprint_unchanged_by_dataplane():
+    from repro.experiments.fig07 import run_fig07
+
+    res = run_fig07(max_steps=12, seed=0)
+    payload = json.dumps(
+        [[r.thresh, r.kept_components, r.mae_mb, r.rmse_mb, r.corr] for r in res.rows]
+        + [res.measured_mb.tolist()]
+    )
+    assert _sha(payload) == FIG07_SEED_HASH
+
+
+def _run_stress16(
+    fast_path: bool, *, with_plane: bool = False, horizon: float = 30.0
+) -> str:
+    """The bench stress recipe (16 streams + weight churn), fingerprinted."""
+    n_streams = 16
+    sim = Simulation()
+    device = BlockDevice(sim, DEVICE_PRESETS["seagate-hdd-2t"], fast_path=fast_path)
+    if with_plane:
+        DataPlane(sim).attach(device)
+    groups = CgroupController()
+    cgroups = [
+        groups.create(f"stress-{i}", weight=100 + (i % 9) * 100)
+        for i in range(n_streams)
+    ]
+
+    def worker(idx, cgroup):
+        direction = "read" if idx % 3 else "write"
+        nbytes = (4 + (idx % 4) * 2) * MiB
+        while True:
+            yield device.submit(cgroup, nbytes, direction)
+
+    for idx, cgroup in enumerate(cgroups):
+        sim.process(worker(idx, cgroup))
+
+    def churn():
+        burst = 0
+        while True:
+            yield Timeout(0.25)
+            for j in range(8):
+                cgroups[(burst + j) % n_streams].set_blkio_weight(
+                    100 + ((burst + j) * 37) % 900, now=sim.now
+                )
+            burst += 8
+
+    sim.process(churn())
+    sim.run(until=horizon)
+    return _sha(json.dumps([sim.events_executed, sim.now, device.bytes_moved]))
+
+
+def test_stress16_fast_path_fingerprint():
+    assert _run_stress16(True) == STRESS16_FAST_HASH
+
+
+def test_stress16_reference_fingerprint():
+    assert _run_stress16(False) == STRESS16_REFERENCE_HASH
+
+
+def test_stress16_with_default_plane_is_bit_identical():
+    """The strong form of zero overhead: attach a policy-free default
+    plane to the stressed device and get the exact same fingerprint."""
+    assert _run_stress16(True, with_plane=True) == STRESS16_FAST_HASH
+
+
+def test_stress16_reference_with_plane_is_bit_identical():
+    assert _run_stress16(False, with_plane=True) == STRESS16_REFERENCE_HASH

@@ -109,7 +109,7 @@ class TestPlanWeights:
             for a, b in zip(lo.steps, hi.steps)
             if a.bucket.cardinality > 0
         ]
-        assert pairs and all(h >= l for l, h in pairs)
+        assert pairs and all(hi_w >= lo_w for lo_w, hi_w in pairs)
 
 
 class TestPlanAccounting:

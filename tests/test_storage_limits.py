@@ -1,0 +1,120 @@
+"""Unit tests for the hoisted weight/throttle rules (storage/limits.py).
+
+The helper is the single source of truth consumed by the cgroup write
+path, the blkio ``StreamDemand`` invariants, and the dataplane's policy
+validation — these tests pin the rules (and the exact error messages,
+which are part of the contract) in one place.
+"""
+
+import math
+
+import pytest
+
+from repro.storage.blkio import StreamDemand
+from repro.storage.cgroup import BlkioCgroup
+from repro.storage.limits import (
+    BLKIO_WEIGHT_MAX,
+    BLKIO_WEIGHT_MIN,
+    clamp_weight,
+    normalize_throttle,
+    normalize_weight,
+    validate_demand,
+)
+
+
+class TestNormalizeWeight:
+    def test_accepts_range_bounds(self):
+        assert normalize_weight(BLKIO_WEIGHT_MIN) == 100
+        assert normalize_weight(BLKIO_WEIGHT_MAX) == 1000
+        assert normalize_weight(550) == 550
+
+    def test_int_casts(self):
+        assert normalize_weight(250.9) == 250
+        assert isinstance(normalize_weight(250.9), int)
+
+    @pytest.mark.parametrize("bad", [0, 99, 1001, -5])
+    def test_rejects_out_of_range(self, bad):
+        with pytest.raises(ValueError, match=r"blkio weight must be in \[100, 1000\]"):
+            normalize_weight(bad)
+
+    def test_message_names_the_value(self):
+        with pytest.raises(ValueError, match="got 42"):
+            normalize_weight(42)
+
+
+class TestClampWeight:
+    def test_clips_into_range(self):
+        assert clamp_weight(-50.0) == BLKIO_WEIGHT_MIN
+        assert clamp_weight(5000.0) == BLKIO_WEIGHT_MAX
+        assert clamp_weight(432.2) == 432
+
+    def test_half_up_rounding(self):
+        # Banker's rounding would give 150; the calibrated map rounds up.
+        assert clamp_weight(150.5) == 151
+
+
+class TestNormalizeThrottle:
+    def test_accepts_positive_and_inf(self):
+        assert normalize_throttle(10e6) == 10e6
+        assert normalize_throttle(math.inf) == math.inf
+        assert isinstance(normalize_throttle(5), float)
+
+    @pytest.mark.parametrize("bad", [0, -1.0, float("nan")])
+    def test_rejects_nonpositive_and_nan(self, bad):
+        with pytest.raises(ValueError, match="throttle bps must be > 0"):
+            normalize_throttle(bad)
+
+
+class TestValidateDemand:
+    def test_valid_passes(self):
+        validate_demand(100.0, 1e8, math.inf, 0.0)
+
+    def test_weight_rule(self):
+        with pytest.raises(ValueError, match="weight must be finite and > 0"):
+            validate_demand(0.0, 1e8, math.inf, 0.0)
+        with pytest.raises(ValueError, match="weight must be finite and > 0"):
+            validate_demand(math.inf, 1e8, math.inf, 0.0)
+
+    def test_peak_rule(self):
+        with pytest.raises(ValueError, match="peak_rate must be finite and > 0"):
+            validate_demand(100.0, 0.0, math.inf, 0.0)
+
+    def test_cap_rejects_nan(self):
+        with pytest.raises(ValueError, match=r"cap must be > 0 \(inf = uncapped\)"):
+            validate_demand(100.0, 1e8, float("nan"), 0.0)
+
+    def test_floor_rule(self):
+        with pytest.raises(ValueError, match="floor must be finite and >= 0"):
+            validate_demand(100.0, 1e8, math.inf, -1.0)
+
+
+class TestConsumersShareTheRules:
+    """The hoist is real: cgroup and StreamDemand raise the same errors."""
+
+    def test_cgroup_weight_uses_helper_message(self):
+        with pytest.raises(ValueError, match=r"blkio weight must be in \[100, 1000\], got 99"):
+            BlkioCgroup("t", weight=99)
+
+    def test_cgroup_throttle_uses_helper_message(self):
+        cg = BlkioCgroup("t")
+
+        class _Dev:
+            name = "d"
+
+        with pytest.raises(ValueError, match="throttle bps must be > 0"):
+            cg.set_throttle(_Dev(), "read", 0)
+
+    def test_cgroup_throttle_now_rejects_nan(self):
+        # Pre-hoist, ``nan <= 0`` slipped a NaN throttle through to the
+        # solver; the shared rule closes that hole.
+        cg = BlkioCgroup("t")
+
+        class _Dev:
+            name = "d"
+
+        with pytest.raises(ValueError, match="throttle bps must be > 0"):
+            cg.set_throttle(_Dev(), "write", float("nan"))
+
+    def test_stream_demand_uses_helper(self):
+        with pytest.raises(ValueError, match=r"cap must be > 0 \(inf = uncapped\)"):
+            StreamDemand(key=0, weight=100, peak_rate=1e8, cap=float("nan"))

@@ -71,7 +71,13 @@ class TestCliParser:
 
     def test_registry_covers_all_eval_figures(self):
         expected = {f"fig{n:02d}" for n in (1, 2, 5, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16)}
-        assert expected | {"headline", "threetier", "campaign", "resilience"} == set(FIGURES)
+        assert expected | {
+            "headline",
+            "threetier",
+            "campaign",
+            "resilience",
+            "qosplane",
+        } == set(FIGURES)
 
 
 class TestCliCommands:
