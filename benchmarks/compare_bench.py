@@ -13,7 +13,15 @@ Two gates run over every benchmark present in both reports:
   out of the *ratio* far less than it pollutes a single median, and the
   event kernel is exactly what this figure measures.  A drop of more
   than ``--events-threshold`` (default 20 %) against the baseline emits
-  a ``::error`` line and the script exits 1, failing CI.
+  a ``::error`` line and the script exits 1, failing CI.  The gate is
+  generic over every row carrying the field, so schema-4 additions
+  (``blkio_stress64``, ``blkio_soak256``) are covered the moment the
+  committed baseline records them.
+
+The script also renders an events/sec **trend table** (scenario rows,
+baseline vs fresh, signed delta) — appended to ``$GITHUB_STEP_SUMMARY``
+when set so the bench artifact carries the trend line, plain stdout
+otherwise.
 
     python benchmarks/compare_bench.py baseline.json fresh.json
 """
@@ -22,6 +30,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 from pathlib import Path
 
@@ -71,6 +80,38 @@ def compare_events(baseline: dict, fresh: dict, *, threshold: float) -> list[str
     return errors
 
 
+def trend_table(baseline: dict, fresh: dict) -> str:
+    """Markdown events/sec trend table over the scenario rows.
+
+    Rows present only on one side still render (with a ``—`` placeholder)
+    so newly added scenarios show up in the summary the commit they land.
+    """
+    base_rows = baseline.get("benchmarks", {})
+    fresh_rows = fresh.get("benchmarks", {})
+    names = sorted(
+        name
+        for name in base_rows.keys() | fresh_rows.keys()
+        if (base_rows.get(name, {}).get("events_per_sec") is not None)
+        or (fresh_rows.get(name, {}).get("events_per_sec") is not None)
+    )
+    if not names:
+        return ""
+    lines = [
+        "### Events/sec trend",
+        "",
+        "| scenario | baseline | fresh | delta |",
+        "|---|---:|---:|---:|",
+    ]
+    for name in names:
+        old = base_rows.get(name, {}).get("events_per_sec")
+        new = fresh_rows.get(name, {}).get("events_per_sec")
+        old_s = f"{old:,.0f}" if old else "—"
+        new_s = f"{new:,.0f}" if new else "—"
+        delta = f"{(new / old - 1.0) * 100:+.1f}%" if old and new else "—"
+        lines.append(f"| {name} | {old_s} | {new_s} | {delta} |")
+    return "\n".join(lines) + "\n"
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("baseline", help="committed BENCH_micro.json")
@@ -108,6 +149,15 @@ def main(argv: list[str] | None = None) -> int:
             f"compare_bench: no benchmark regressed beyond "
             f"{args.threshold:.1f}x the committed baseline"
         )
+
+    table = trend_table(baseline, fresh)
+    if table:
+        summary = os.environ.get("GITHUB_STEP_SUMMARY")
+        if summary:
+            with open(summary, "a") as fh:
+                fh.write(table + "\n")
+        else:
+            print(table)
 
     errors = compare_events(baseline, fresh, threshold=args.events_threshold)
     for line in errors:

@@ -66,6 +66,9 @@ def main(argv: list[str] | None = None) -> int:
         ratio = report["derived"][key]
         if ratio:
             print(f"  event kernel {label} (calendar vs heap events/s): {ratio:.2f}x")
+    dispatch = report["derived"].get("dispatch_speedup_stress16")
+    if dispatch:
+        print(f"  dispatch stress16 (scalar vs batched wall): {dispatch:.2f}x")
     path = write_report(report, args.output)
     print(f"report written to {path}")
     return 0

@@ -104,8 +104,12 @@ class ScenarioSession:
         self.config = config
         self.placement = placement
         # Campaign configs and duck-typed configs may predate the kernel
-        # field; default them to the calendar kernel.
-        self.sim = Simulation(kernel=getattr(config, "kernel", "calendar"))
+        # and dispatch fields; default them to the fast paths (batched
+        # dispatch is trace-identical to scalar, so this is safe).
+        self.sim = Simulation(
+            kernel=getattr(config, "kernel", "calendar"),
+            dispatch=getattr(config, "dispatch", "batched"),
+        )
         if OBS.enabled:
             OBS.tracer.bind_clock(self.sim)
         if storage_factory is not None:

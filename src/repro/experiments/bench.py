@@ -46,6 +46,24 @@ identical event sequence, so the ratio is pure kernel overhead.  The
 regression gate lives in ``benchmarks/compare_bench.py``: any scenario
 row whose events/sec drops more than 20 % against the committed
 baseline fails CI.
+
+Schema 4 scales the device axis to where the vectorised epoch path
+(persistent SoA stream arrays + batched dispatch, architecture §1.2)
+actually pays:
+
+* ``blkio_stress16_scalar`` — the stress16 case under
+  ``dispatch="scalar"`` (one Python callback per ready entry, the
+  parity oracle).  ``derived.dispatch_speedup_stress16`` is the
+  scalar/batched wall ratio; at 16 streams the two are near parity
+  because the event-loop floor dominates, so the ratio documents the
+  dispatch axis rather than gating it.
+* ``blkio_stress64`` — the same stress workload at 64 streams, where
+  the array sync/solve overtakes per-object attribute loops.
+* ``blkio_soak256`` — a 256-stream homogeneous soak (uniform weights,
+  no control churn): every epoch groups hundreds of same-instant
+  starts into single batch calls and the solve memo hits on the
+  steady-state signature.  Both new rows are hard-gated on events/sec
+  by ``compare_bench.py`` like every scenario row.
 """
 
 from __future__ import annotations
@@ -62,7 +80,7 @@ from typing import Callable
 __all__ = ["BENCH_FILENAME", "SCHEMA_VERSION", "run_microbench", "write_report", "repo_root"]
 
 BENCH_FILENAME = "BENCH_micro.json"
-SCHEMA_VERSION = 3
+SCHEMA_VERSION = 4
 
 #: Median speedup of the default ladder method over the pre-fastladder
 #: cost model that the perf work is pinned to (see module docstring).
@@ -127,25 +145,27 @@ def _run_stress_blkio(
     fast_path: bool,
     *,
     kernel: str = "calendar",
+    dispatch: str = "batched",
     n_streams: int = 16,
     horizon: float = 120.0,
 ) -> tuple[float, int, float]:
-    """One 16-stream device stress run; returns (wall_s, events, sim_time).
+    """One n-stream device stress run; returns (wall_s, events, sim_time).
 
-    Sixteen perpetual mixed read/write workers resubmit multi-MiB requests
+    Perpetual mixed read/write workers resubmit multi-MiB requests
     against one shared HDD while a churn process rewrites eight blkio
     weights every 250 ms — the reschedule-heavy regime the device fast
     path (SoA demands, signature memo, coalesced flushes) targets.  With
     ``fast_path=False`` the device falls back to per-change reschedules
     and the dict-based reference solver, i.e. the pre-optimisation cost
-    model, over the identical simulated horizon.
+    model, over the identical simulated horizon.  ``dispatch="scalar"``
+    runs the same workload with epoch-grouped dispatch disabled.
     """
     from repro.simkernel import Simulation, Timeout
     from repro.storage.cgroup import CgroupController
     from repro.storage.device import DEVICE_PRESETS, BlockDevice
     from repro.util.units import MiB
 
-    sim = Simulation(kernel=kernel)
+    sim = Simulation(kernel=kernel, dispatch=dispatch)
     device = BlockDevice(sim, DEVICE_PRESETS["seagate-hdd-2t"], fast_path=fast_path)
     groups = CgroupController()
     cgroups = [
@@ -172,6 +192,45 @@ def _run_stress_blkio(
             burst += 8
 
     sim.process(churn())
+    t0 = time.perf_counter()
+    sim.run(until=horizon)
+    return time.perf_counter() - t0, sim.events_executed, sim.now
+
+
+def _run_soak_blkio(
+    n_streams: int = 256,
+    horizon: float = 10.0,
+) -> tuple[float, int, float]:
+    """A homogeneous many-stream soak; returns (wall_s, events, sim_time).
+
+    256 identical workers (uniform weight, 1 MiB requests, 2:1 read/write
+    mix, no control churn) hammer one shared SSD (zero concurrency
+    thrash, so the wave period stays sub-second even at 256 streams).
+    All streams submit at t=0 and resubmit on completion, so every epoch
+    carries large groups of same-instant starts and completions — the
+    regime where batched dispatch collapses hundreds of Python callbacks
+    into single ``_start_streams_batch`` calls, completions bulk-succeed
+    in one array pass, and the solver memo hits on the recurring demand
+    signature (each wave drains the device completely, so rows refill in
+    identical order).
+    """
+    from repro.simkernel import Simulation
+    from repro.storage.cgroup import CgroupController
+    from repro.storage.device import DEVICE_PRESETS, BlockDevice
+    from repro.util.units import MiB
+
+    sim = Simulation()
+    device = BlockDevice(sim, DEVICE_PRESETS["intel-ssd-400"], fast_path=True)
+    groups = CgroupController()
+
+    def worker(cgroup, direction):
+        while True:
+            yield device.submit(cgroup, MiB, direction)
+
+    for i in range(n_streams):
+        cgroup = groups.create(f"soak-{i}", weight=500)
+        sim.process(worker(cgroup, "read" if i % 3 else "write"))
+
     t0 = time.perf_counter()
     sim.run(until=horizon)
     return time.perf_counter() - t0, sim.events_executed, sim.now
@@ -275,7 +334,10 @@ def run_microbench(
         ("scenario_fig07_contention_heap", lambda: _run_scenario_contention("heap")),
         ("blkio_stress16_fast", lambda: _run_stress_blkio(True)),
         ("blkio_stress16_fast_heap", lambda: _run_stress_blkio(True, kernel="heap")),
+        ("blkio_stress16_scalar", lambda: _run_stress_blkio(True, dispatch="scalar")),
         ("blkio_stress16_reference", lambda: _run_stress_blkio(False)),
+        ("blkio_stress64", lambda: _run_stress_blkio(True, n_streams=64, horizon=40.0)),
+        ("blkio_soak256", _run_soak_blkio),
     ]
     for name, runner in scenario_specs:
         walls: list[float] = []
@@ -326,6 +388,13 @@ def run_microbench(
         cal_eps = results[cal_name]["events_per_sec"]
         heap_eps = results[heap_name]["events_per_sec"]
         derived[key] = cal_eps / heap_eps if cal_eps and heap_eps else None
+    # Dispatch-axis comparison (schema 4): batched vs scalar wall time on
+    # the identical trace.  Near 1.0 at 16 streams (event-loop floor);
+    # the stress64/soak256 rows carry the scaling story via events/sec.
+    scalar_wall = results["blkio_stress16_scalar"]["median_s"]
+    derived["dispatch_speedup_stress16"] = (
+        scalar_wall / stress_fast if stress_fast > 0 else None
+    )
 
     root = repo_root()
     return {

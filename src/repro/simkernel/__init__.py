@@ -16,7 +16,12 @@ from repro.simkernel.sim import (
     UnhandledFailureWarning,
     tick_time,
 )
-from repro.simkernel.events import Event, EventAlreadyTriggered, ScheduledCallback
+from repro.simkernel.events import (
+    Event,
+    EventAlreadyTriggered,
+    ScheduledCallback,
+    batch_dispatch,
+)
 from repro.simkernel.process import Process, Timeout, Interrupt
 
 __all__ = [
@@ -28,6 +33,7 @@ __all__ = [
     "Event",
     "EventAlreadyTriggered",
     "ScheduledCallback",
+    "batch_dispatch",
     "Process",
     "Timeout",
     "Interrupt",

@@ -1,10 +1,36 @@
-"""One-shot events and cancellable scheduled callbacks."""
+"""One-shot events, cancellable scheduled callbacks, and the batchable
+handler protocol used by epoch-grouped dispatch."""
 
 from __future__ import annotations
 
 from typing import Any, Callable
 
-__all__ = ["Event", "EventAlreadyTriggered", "ScheduledCallback"]
+__all__ = ["Event", "EventAlreadyTriggered", "ScheduledCallback", "batch_dispatch"]
+
+
+def batch_dispatch(scalar_handler: Callable, batch_handler: Callable) -> Callable:
+    """Register ``batch_handler`` as the epoch-batch form of a method.
+
+    Under ``dispatch="batched"`` the event loop groups *consecutive*
+    ready entries whose callbacks are bound methods of the same
+    underlying function on the same receiver, and calls
+    ``batch_handler(receiver, entries)`` once instead of N scalar
+    callbacks (``entries`` are the grouped :class:`ScheduledCallback`
+    objects; each entry's ``args`` carries the scalar call's arguments).
+
+    The contract: the batch form must be observationally identical to
+    running the scalar handler once per entry — same state transitions,
+    same scheduled follow-ups, same float arithmetic where results feed
+    recorded fingerprints.  Grouping never spans a differently-bound
+    entry, so interleaved callbacks observe exactly the intermediate
+    state scalar dispatch would have produced.
+
+    Both arguments are plain functions (apply to the class attribute,
+    not a bound method).  Returns ``scalar_handler`` so the call can be
+    used as a post-class-body registration statement.
+    """
+    scalar_handler._batch_dispatch = batch_handler
+    return scalar_handler
 
 
 class EventAlreadyTriggered(RuntimeError):

@@ -71,6 +71,7 @@ def tick_time(start: float, n: int, period: float) -> float:
 
 
 _KERNELS = ("calendar", "heap")
+_DISPATCH_MODES = ("batched", "scalar")
 _FAILURE_MODES = ("warn", "raise", "ignore")
 
 #: Compaction trigger: lazily-cancelled entries must number at least this
@@ -495,6 +496,18 @@ class Simulation:
     classic binary-heap loop, kept as the parity oracle).  Both execute
     callbacks in identical ``(time, seq)`` order.
 
+    ``dispatch`` selects how a drained epoch reaches its handlers:
+    ``"batched"`` (the default) groups consecutive ready entries bound
+    to the same batchable handler (see
+    :func:`repro.simkernel.events.batch_dispatch`) and hands the whole
+    run to the handler's batch form in one call; ``"scalar"`` executes
+    every entry through its own callback — the parity oracle.  Batch
+    handlers are required to be observationally identical to their
+    scalar form (grouping only spans *consecutive* entries, so any
+    interleaved callback observes exactly the state scalar dispatch
+    would have produced), which keeps traces, ``events_executed`` and
+    recorded fingerprints bit-identical across dispatch modes.
+
     ``on_unhandled_failure`` controls what happens when the loop drains
     with event failures nothing ever retrieved: ``"warn"`` (default),
     ``"raise"``, or ``"ignore"``.
@@ -504,16 +517,22 @@ class Simulation:
         self,
         kernel: str = "calendar",
         *,
+        dispatch: str = "batched",
         on_unhandled_failure: str = "warn",
     ) -> None:
         if kernel not in _KERNELS:
             raise SimError(f"unknown kernel {kernel!r}; expected one of {_KERNELS}")
+        if dispatch not in _DISPATCH_MODES:
+            raise SimError(
+                f"unknown dispatch {dispatch!r}; expected one of {_DISPATCH_MODES}"
+            )
         if on_unhandled_failure not in _FAILURE_MODES:
             raise SimError(
                 f"on_unhandled_failure must be one of {_FAILURE_MODES}, "
                 f"got {on_unhandled_failure!r}"
             )
         self.kernel = kernel
+        self.dispatch = dispatch
         #: Current simulated time (seconds).  A plain attribute, not a
         #: property: it is read on every schedule/dispatch and the
         #: descriptor overhead is measurable.  Treat as read-only.
@@ -546,6 +565,16 @@ class Simulation:
         self._epochs = 0
         self._batched = 0
         self._max_batch = 0
+        # Grouped-dispatch accounting (dispatch="batched"): calls to
+        # batch handlers and entries delivered through them.
+        self._group_calls = 0
+        self._grouped_events = 0
+        # peek() skip cache: entries in ``_ready[_ready_idx:_peek_skip]``
+        # were all observed cancelled by an earlier peek (cancellation is
+        # one-way, so the observation stays valid); ``_peek_scans``
+        # counts entries examined — pinned by the peek cost tests.
+        self._peek_skip = 0
+        self._peek_scans = 0
         # Unhandled-failure detection (see events.Event.fail).
         self._failure_mode = on_unhandled_failure
         self._unhandled: list[Event] = []
@@ -628,7 +657,9 @@ class Simulation:
         if lazy < _COMPACT_MIN_CANCELLED:
             return
         if cal is None:
-            qsize = len(self._heap)
+            # The heap kernel's batched drain also stages entries in
+            # ``_ready`` (empty under scalar dispatch).
+            qsize = len(self._heap) + len(self._ready) - self._ready_idx
         else:
             qsize = cal.qsize + len(self._ready) - self._ready_idx
         if 2 * lazy >= qsize:
@@ -701,11 +732,14 @@ class Simulation:
         lazy = self._cancels - self._discards - (cal.discards if cal is not None else 0)
         stats = {
             "kernel": self.kernel,
+            "dispatch": self.dispatch,
             "executed": self._executed,
             "live": self._live,
             "epochs": self._epochs,
             "batched_events": self._batched,
             "max_batch": self._max_batch,
+            "group_calls": self._group_calls,
+            "grouped_events": self._grouped_events,
             "cancels": self._cancels,
             "lazy_cancelled": lazy,
             "compactions": self._compactions,
@@ -719,11 +753,35 @@ class Simulation:
     def _queue_len(self) -> int:
         """Entries physically stored (live + lazily cancelled) — tests."""
         if self._cal is None:
-            return len(self._heap)
+            return len(self._heap) + len(self._ready) - self._ready_idx
         return self._cal.qsize + len(self._ready) - self._ready_idx
 
     def peek(self) -> float:
-        """Time of the next live callback, or ``inf`` when idle."""
+        """Time of the next live callback, or ``inf`` when idle.
+
+        The in-flight epoch batch is scanned from ``_peek_skip`` rather
+        than ``_ready_idx``: every entry below the skip mark was already
+        observed cancelled by an earlier peek, and cancellation is
+        one-way, so repeated peeks during a cancel-heavy epoch examine
+        each dead entry once instead of once per call.
+        """
+        ready = self._ready
+        i = self._peek_skip
+        idx = self._ready_idx
+        if i < idx:
+            i = idx
+        n = len(ready)
+        scans = 0
+        while i < n:
+            scans += 1
+            e = ready[i]
+            if not e.cancelled:
+                self._peek_skip = i
+                self._peek_scans += scans
+                return e.time
+            i += 1
+        self._peek_skip = i
+        self._peek_scans += scans
         cal = self._cal
         if cal is None:
             heap = self._heap
@@ -731,9 +789,6 @@ class Simulation:
                 heapq.heappop(heap)
                 self._discards += 1
             return heap[0].time if heap else float("inf")
-        for e in self._ready[self._ready_idx:]:
-            if not e.cancelled:
-                return e.time
         t = cal.peek_time()
         return t if t is not None else float("inf")
 
@@ -775,6 +830,7 @@ class Simulation:
             if ready:
                 del ready[:]
                 self._ready_idx = 0
+                self._peek_skip = 0
             batch = self._cal.extract_batch(None)
             if batch is None:
                 return False
@@ -819,7 +875,12 @@ class Simulation:
         The loop pops each live entry exactly once: cancelled entries are
         discarded as they surface and the head entry is inspected in place
         before popping, rather than the peek-then-step double heap walk.
+        Under batched dispatch the heap kernel extracts whole epochs so
+        grouped handlers work identically on both kernels.
         """
+        if self.dispatch == "batched":
+            self._run_heap_batched(until)
+            return
         heap = self._heap
         while heap:
             entry = heap[0]
@@ -836,6 +897,120 @@ class Simulation:
             self._executed += 1
             entry.callback(*entry.args)
 
+    def _run_heap_batched(self, until: float | None) -> None:
+        """Heap kernel with epoch extraction + grouped dispatch.
+
+        Same-timestamp entries are popped into ``_ready`` and dispatched
+        through the shared grouped inner loop.  Callbacks scheduling at
+        the current instant still push to the heap (the calendar's
+        append-to-batch fast path does not apply), so such entries are
+        re-extracted as follow-up epochs at the same timestamp — group
+        boundaries may differ from the calendar kernel's, but grouping
+        is semantics-preserving regardless of where runs split.
+        """
+        heap = self._heap
+        ready = self._ready
+        self._dispatching = True
+        try:
+            while True:
+                idx = self._ready_idx
+                if idx >= len(ready):
+                    if ready:
+                        del ready[:]
+                        self._ready_idx = idx = 0
+                        self._peek_skip = 0
+                    while heap and heap[0].cancelled:
+                        heapq.heappop(heap)
+                        self._discards += 1
+                    if not heap:
+                        return
+                    t = heap[0].time
+                    if until is not None and t > until:
+                        return
+                    ready.append(heapq.heappop(heap))
+                    while heap and heap[0].time == t:
+                        e = heapq.heappop(heap)
+                        if e.cancelled:
+                            self._discards += 1
+                        else:
+                            ready.append(e)
+                    self.now = t
+                    self._epochs += 1
+                    n = len(ready)
+                    self._batched += n
+                    if n > self._max_batch:
+                        self._max_batch = n
+                while idx < len(ready):
+                    entry = ready[idx]
+                    idx += 1
+                    self._ready_idx = idx
+                    if entry.cancelled:
+                        self._discards += 1
+                        continue
+                    cb = entry.callback
+                    f = getattr(cb, "__func__", None)
+                    if f is not None:
+                        batch_fn = getattr(f, "_batch_dispatch", None)
+                        if batch_fn is not None:
+                            idx = self._dispatch_group(
+                                batch_fn, f, cb.__self__, entry, ready, idx
+                            )
+                            continue
+                    entry.executed = True
+                    self._live -= 1
+                    self._executed += 1
+                    cb(*entry.args)
+        finally:
+            self._dispatching = False
+
+    def _dispatch_group(
+        self,
+        batch_fn: Callable,
+        func: Callable,
+        owner: Any,
+        first: ScheduledCallback,
+        ready: list[ScheduledCallback],
+        idx: int,
+    ) -> int:
+        """Collect the consecutive run of entries bound to ``func`` on
+        ``owner`` and deliver it through ``batch_fn`` in one call.
+
+        Only *consecutive* entries group: the first entry with a
+        different handler ends the run, so any interleaved callback
+        observes exactly the intermediate state scalar dispatch would
+        have produced.  Cancelled entries inside the run are consumed as
+        discards (they are no-ops in scalar order too).  Every grouped
+        entry counts toward ``events_executed`` — parity with scalar
+        dispatch is exact.  Returns the new ready index.
+        """
+        run = [first]
+        n = len(ready)
+        discards = 0
+        while idx < n:
+            e = ready[idx]
+            if e.cancelled:
+                idx += 1
+                discards += 1
+                continue
+            cb = e.callback
+            if getattr(cb, "__func__", None) is func and cb.__self__ is owner:
+                run.append(e)
+                idx += 1
+                continue
+            break
+        self._ready_idx = idx
+        if discards:
+            self._discards += discards
+        k = len(run)
+        for e in run:
+            e.executed = True
+        self._live -= k
+        self._executed += k
+        self._group_calls += 1
+        self._grouped_events += k
+        batch_fn(owner, run)
+        return idx
+
     def _run_calendar(self, until: float | None) -> None:
         """Epoch-batched drain: one queue extraction per timestamp.
 
@@ -846,6 +1021,7 @@ class Simulation:
         """
         cal = self._cal
         ready = self._ready
+        grouped = self.dispatch == "batched"
         self._dispatching = True
         try:
             while True:
@@ -855,6 +1031,7 @@ class Simulation:
                     if n:
                         del ready[:]
                         self._ready_idx = idx = 0
+                        self._peek_skip = 0
                     if cal.use_heap:
                         # Heap-regime epoch extraction, inlined: the small
                         # queues that dominate repo workloads never leave
@@ -901,6 +1078,16 @@ class Simulation:
                     if entry.cancelled:
                         self._discards += 1
                         continue
+                    if grouped:
+                        cb = entry.callback
+                        f = getattr(cb, "__func__", None)
+                        if f is not None:
+                            batch_fn = getattr(f, "_batch_dispatch", None)
+                            if batch_fn is not None:
+                                idx = self._dispatch_group(
+                                    batch_fn, f, cb.__self__, entry, ready, idx
+                                )
+                                continue
                     entry.executed = True
                     self._live -= 1
                     self._executed += 1

@@ -45,26 +45,27 @@ from typing import Sequence
 import numpy as np
 
 from repro.obs import OBS
-from repro.storage.limits import validate_demand
+from repro.storage import jitkernels
+from repro.storage.limits import (
+    CAP_SLACK,
+    EPS_REMAINING,
+    MAX_FLOOR_UTILISATION,
+    validate_demand,
+)
 
 __all__ = [
     "StreamDemand",
     "compute_rates",
     "compute_rates_reference",
     "solve_rates",
+    "solve_rates_arrays",
     "MAX_FLOOR_UTILISATION",
 ]
 
-#: Writeback floors may reserve at most this fraction of the device:
-#: kernel dirty throttling keeps flushing, but never to the point of
-#: absolute reader starvation.
-MAX_FLOOR_UTILISATION = 0.8
-
-#: Residual utilisation below which filling stops (guards float drift).
-_EPS_REMAINING = 1e-15
-
-#: Relative slack when deciding a stream's share saturates its headroom.
-_CAP_SLACK = 1.0 + 1e-12
+# The solver constants live in repro.storage.limits (shared with the
+# optional numba kernels); the historical names stay bound here.
+_EPS_REMAINING = EPS_REMAINING
+_CAP_SLACK = CAP_SLACK
 
 
 @dataclass(frozen=True)
@@ -211,11 +212,31 @@ def _solve_n(
     caps: Sequence[float],
     floors: Sequence[float],
 ):
-    w = np.asarray(weights, dtype=np.float64)
-    p = np.asarray(peaks, dtype=np.float64)
-    c = np.asarray(caps, dtype=np.float64)
-    f = np.asarray(floors, dtype=np.float64)
+    rates, rounds, capped = _solve_n_arrays(
+        np.asarray(weights, dtype=np.float64),
+        np.asarray(peaks, dtype=np.float64),
+        np.asarray(caps, dtype=np.float64),
+        np.asarray(floors, dtype=np.float64),
+    )
+    return rates.tolist(), rounds, capped
 
+
+def _solve_n_arrays(
+    w: np.ndarray,
+    p: np.ndarray,
+    c: np.ndarray,
+    f: np.ndarray,
+):
+    """Vectorised waterfill over float64 arrays; returns a float64 array.
+
+    The first round runs without any index bookkeeping: in the common
+    case nothing saturates and the round-1 proportional shares are the
+    answer, so the ``arange``/fancy-indexing scaffolding of the general
+    loop is built only when a stream actually caps.  Bit-identical to the
+    general loop (``extra[arange(n)] = share`` is elementwise identity,
+    and ``x + 0.0`` preserves every non-negative float), which is itself
+    bit-identical to :func:`_solve_scalar`.
+    """
     m = np.minimum(c, p)
     fu = np.minimum(f, m) / p
     # Floors sum sequentially (left-to-right, demand order): float addition
@@ -226,12 +247,27 @@ def _solve_n(
         fu = fu * (MAX_FLOOR_UTILISATION / total_floor)
         total_floor = MAX_FLOOR_UTILISATION
     remaining = 1.0 - total_floor
+    if remaining <= _EPS_REMAINING:
+        return fu * p, 0, 0
     headroom = np.maximum(m / p - fu, 0.0)
 
-    extra = np.zeros(len(w))
-    idx = np.arange(len(w))
-    rounds = 0
-    capped_total = 0
+    total_w = sum(w.tolist())
+    share = remaining * w / total_w
+    capped_mask = headroom <= share * _CAP_SLACK
+    if not capped_mask.any():
+        return (fu + share) * p, 1, 0
+
+    capped_total = int(capped_mask.sum())
+    rounds = 1
+    n = w.shape[0]
+    extra = np.zeros(n)
+    idx = np.arange(n)
+    capped_idx = idx[capped_mask]
+    extra[capped_idx] = headroom[capped_idx]
+    for h in headroom[capped_idx].tolist():
+        remaining -= h
+    remaining = max(remaining, 0.0)
+    idx = idx[~capped_mask]
     while idx.size and remaining > _EPS_REMAINING:
         rounds += 1
         w_act = w[idx]
@@ -249,7 +285,7 @@ def _solve_n(
         remaining = max(remaining, 0.0)
         idx = idx[~capped_mask]
 
-    return ((fu + extra) * p).tolist(), rounds, capped_total
+    return (fu + extra) * p, rounds, capped_total
 
 
 #: Stream count up to which the scalar waterfill beats the vectorised one.
@@ -331,10 +367,109 @@ def solve_rates(
             weights[0], peak_rates[0], caps[0], floors[0],
             weights[1], peak_rates[1], caps[1], floors[1],
         )
+    elif jitkernels.waterfill is not None:
+        out, rounds, capped = jitkernels.waterfill(
+            np.asarray(weights, dtype=np.float64),
+            np.asarray(peak_rates, dtype=np.float64),
+            np.asarray(caps, dtype=np.float64),
+            np.asarray(floors, dtype=np.float64),
+        )
+        rates = out.tolist()
     elif n <= _SCALAR_MAX_STREAMS:
         rates, rounds, capped = _solve_scalar(weights, peak_rates, caps, floors)
     else:
         rates, rounds, capped = _solve_n(weights, peak_rates, caps, floors)
+    if OBS.enabled:
+        _, _, calls, rounds_c, capped_c, streams_h = _obs_handles()
+        calls.inc()
+        rounds_c.inc(rounds)
+        capped_c.inc(capped)
+        streams_h.observe(n)
+    return rates
+
+
+#: Below this stream count the device's array path converts back to the
+#: scalar waterfill when numba is unavailable: tiny active sets pay more
+#: for numpy dispatch than for a short Python loop.
+_ARRAY_SCALAR_MAX = 8
+
+
+def solve_rates_arrays(
+    weights: np.ndarray,
+    caps: np.ndarray,
+    is_write: np.ndarray,
+    peak_read: float,
+    peak_write: float,
+    write_floor: float = 0.0,
+    *,
+    peaks: np.ndarray | None = None,
+    floors: np.ndarray | None = None,
+) -> Sequence[float]:
+    """Directional array-native form of :func:`solve_rates`.
+
+    The device fast path keeps per-stream weights/caps/directions in
+    persistent flat arrays; this entry point consumes them without any
+    per-call list assembly.  ``peak_read``/``peak_write`` are the
+    efficiency-scaled directional peaks and ``write_floor`` the
+    guaranteed per-write-stream minimum — the peak/floor vectors are
+    materialised here only when the general waterfill actually needs
+    them.  A caller that already maintains per-stream peak/floor arrays
+    (the device scales direction-keyed base rows by the current
+    efficiency) passes them as ``peaks``/``floors`` to skip even that.
+    Same allocation semantics, same observability counters, and
+    bit-identical rates to :func:`solve_rates` on the equivalent
+    unpacked inputs (the jitted waterfill, when enabled, is itself
+    bit-identical — see :mod:`repro.storage.jitkernels`).
+
+    Returns the rates in input order as a list or 1-D float64 array.
+    """
+    n = weights.shape[0]
+    if n == 0:
+        return []
+    if n == 1:
+        iw = bool(is_write[0])
+        rates, rounds, capped = _solve_1(
+            weights[0].item(),
+            peak_write if iw else peak_read,
+            caps[0].item(),
+            write_floor if iw else 0.0,
+        )
+    elif n == 2:
+        i0 = bool(is_write[0])
+        i1 = bool(is_write[1])
+        rates, rounds, capped = _solve_2(
+            weights[0].item(),
+            peak_write if i0 else peak_read,
+            caps[0].item(),
+            write_floor if i0 else 0.0,
+            weights[1].item(),
+            peak_write if i1 else peak_read,
+            caps[1].item(),
+            write_floor if i1 else 0.0,
+        )
+    elif jitkernels.waterfill is None and n <= _ARRAY_SCALAR_MAX:
+        if peaks is None:
+            isw = is_write.tolist()
+            peak_list = [peak_write if iw else peak_read for iw in isw]
+            floor_list = [write_floor if iw else 0.0 for iw in isw]
+        else:
+            peak_list = peaks.tolist()
+            floor_list = floors.tolist()
+        rates, rounds, capped = _solve_scalar(
+            weights.tolist(), peak_list, caps.tolist(), floor_list
+        )
+    else:
+        if peaks is None:
+            peaks = np.where(is_write, peak_write, peak_read)
+            if write_floor:
+                floors = np.where(is_write, write_floor, 0.0)
+            else:
+                floors = np.zeros(n)
+        wf = jitkernels.waterfill
+        if wf is not None:
+            rates, rounds, capped = wf(weights, peaks, caps, floors)
+        else:
+            rates, rounds, capped = _solve_n_arrays(weights, peaks, caps, floors)
     if OBS.enabled:
         _, _, calls, rounds_c, capped_c, streams_h = _obs_handles()
         calls.inc()

@@ -1,0 +1,204 @@
+"""Optional numba-jitted kernels for the device/solver hot loops.
+
+Everything here is a *drop-in accelerator*: each kernel mirrors its
+pure-python counterpart operation for operation — same expressions, same
+reduction order, default (strict IEEE, no fastmath) ``@njit`` compilation
+— so results are bit-identical to the interpreted path and the recorded
+scenario fingerprints hold regardless of whether numba is installed.
+The bit-identity contract is enforced by the hypothesis property tests in
+``tests/test_jitkernels.py`` (skip-marked when numba is absent).
+
+Gating: the ``REPRO_JIT`` environment variable forces the paths on
+(``1``/``true``/``on``), off (``0``/``false``/``off``), or leaves them in
+``auto`` (default: enabled exactly when numba imports).  When disabled or
+unavailable, the exported kernel attributes are ``None`` and callers fall
+back to the pure paths — no hard dependency is ever taken.
+
+Exported kernels (``None`` when disabled):
+
+* :data:`waterfill` ``(weights, peaks, caps, floors) -> (rates, rounds,
+  capped)`` — the progressive-filling allocation, mirroring
+  ``blkio._solve_scalar``.
+* :data:`progress` ``(rate, rem, is_write, dt, acc_read, acc_write, eps)
+  -> (acc_read, acc_write, n_finished)`` — fused progress accrual +
+  per-direction byte accounting + completion count, mirroring the
+  device's vectorised ``_sync_progress``.
+* :data:`horizon` ``(rate, rem) -> float`` — minimum time to next
+  completion over positive-rate streams.
+"""
+
+from __future__ import annotations
+
+import os
+import warnings
+
+import numpy as np
+
+from repro.storage.limits import CAP_SLACK, EPS_REMAINING, MAX_FLOOR_UTILISATION
+
+__all__ = ["HAVE_NUMBA", "ENABLED", "waterfill", "progress", "horizon"]
+
+try:  # pragma: no cover - exercised only where numba is installed
+    import numba  # noqa: F401
+
+    HAVE_NUMBA = True
+except ImportError:
+    HAVE_NUMBA = False
+
+_FLAG = os.environ.get("REPRO_JIT", "auto").strip().lower()
+if _FLAG in ("1", "true", "on"):
+    ENABLED = True
+    if not HAVE_NUMBA:
+        warnings.warn(
+            "REPRO_JIT is set but numba is not importable; "
+            "falling back to the pure-python kernels",
+            RuntimeWarning,
+            stacklevel=2,
+        )
+        ENABLED = False
+elif _FLAG in ("0", "false", "off"):
+    ENABLED = False
+else:
+    ENABLED = HAVE_NUMBA
+
+waterfill = None
+progress = None
+horizon = None
+
+if ENABLED:  # pragma: no cover - exercised only where numba is installed
+    from numba import njit
+
+    @njit(cache=True)
+    def _waterfill(w, p, c, f):
+        # Transcription of blkio._solve_scalar: every expression and
+        # every left-to-right reduction matches, so the float results
+        # are bit-identical.
+        n = w.shape[0]
+        m = np.empty(n)
+        fu = np.empty(n)
+        for i in range(n):
+            mi = c[i] if c[i] < p[i] else p[i]
+            m[i] = mi
+            fu[i] = (f[i] if f[i] < mi else mi) / p[i]
+        total_floor = 0.0
+        for i in range(n):
+            total_floor += fu[i]
+        if total_floor > MAX_FLOOR_UTILISATION:
+            ratio = MAX_FLOOR_UTILISATION / total_floor
+            for i in range(n):
+                fu[i] = fu[i] * ratio
+            total_floor = MAX_FLOOR_UTILISATION
+        remaining = 1.0 - total_floor
+        headroom = np.empty(n)
+        for i in range(n):
+            h = m[i] / p[i] - fu[i]
+            headroom[i] = h if h > 0.0 else 0.0
+
+        extra = np.zeros(n)
+        active = np.empty(n, np.int64)
+        for i in range(n):
+            active[i] = i
+        n_active = n
+        iscap = np.zeros(n, np.uint8)
+        rounds = 0
+        capped_total = 0
+        while n_active > 0 and remaining > EPS_REMAINING:
+            rounds += 1
+            total_w = 0.0
+            for k in range(n_active):
+                total_w += w[active[k]]
+            # Classify against the round-fixed ``remaining`` first (the
+            # scalar path builds its capped list before subtracting).
+            n_capped = 0
+            for k in range(n_active):
+                i = active[k]
+                if headroom[i] <= remaining * w[i] / total_w * CAP_SLACK:
+                    iscap[i] = 1
+                    n_capped += 1
+                else:
+                    iscap[i] = 0
+            if n_capped == 0:
+                for k in range(n_active):
+                    i = active[k]
+                    extra[i] = remaining * w[i] / total_w
+                break
+            capped_total += n_capped
+            for k in range(n_active):
+                i = active[k]
+                if iscap[i] == 1:
+                    extra[i] = headroom[i]
+            for k in range(n_active):
+                i = active[k]
+                if iscap[i] == 1:
+                    remaining -= headroom[i]
+            if remaining < 0.0:
+                remaining = 0.0
+            new_n = 0
+            for k in range(n_active):
+                i = active[k]
+                if iscap[i] == 0:
+                    active[new_n] = i
+                    new_n += 1
+            n_active = new_n
+
+        rates = np.empty(n)
+        for i in range(n):
+            rates[i] = (fu[i] + extra[i]) * p[i]
+        return rates, rounds, capped_total
+
+    @njit(cache=True)
+    def _progress(rate, rem, is_write, dt, acc_read, acc_write, eps):
+        # Mirrors the device's vectorised accrual: min(rate*dt, rem) per
+        # stream, per-direction byte sums accumulated in stream order
+        # (interleaved adds to separate accumulators are the same float
+        # sequence as the per-direction subsequence sums).
+        n_finished = 0
+        for i in range(rate.shape[0]):
+            mv = rate[i] * dt
+            ri = rem[i]
+            if mv > ri:
+                mv = ri
+            ri -= mv
+            rem[i] = ri
+            if is_write[i]:
+                acc_write += mv
+            else:
+                acc_read += mv
+            if ri <= eps:
+                n_finished += 1
+        return acc_read, acc_write, n_finished
+
+    @njit(cache=True)
+    def _horizon(rate, rem):
+        h = np.inf
+        for i in range(rate.shape[0]):
+            r = rate[i]
+            if r > 0.0:
+                t = rem[i] / r
+                if t < h:
+                    h = t
+        return h
+
+    try:
+        # Force one compilation per kernel now: a broken numba install
+        # (or an ABI mismatch with the local numpy) downgrades to the
+        # pure paths instead of exploding mid-simulation.
+        _w = np.array([100.0, 200.0, 300.0])
+        _p = np.array([1e6, 1e6, 2e6])
+        _c = np.array([np.inf, 5e5, np.inf])
+        _f = np.array([0.0, 0.0, 1e4])
+        _waterfill(_w, _p, _c, _f)
+        _progress(_p.copy(), _c.copy(), np.array([True, False, True]), 0.5, 0.0, 0.0, 0.5)
+        _horizon(_w, _p)
+    except Exception as exc:  # noqa: BLE001 - any jit failure means fallback
+        warnings.warn(
+            f"numba kernels failed to compile ({exc!r}); "
+            "falling back to the pure-python kernels",
+            RuntimeWarning,
+            stacklevel=2,
+        )
+        ENABLED = False
+    else:
+        waterfill = _waterfill
+        progress = _progress
+        horizon = _horizon

@@ -22,11 +22,31 @@ from repro.core.weights import BLKIO_WEIGHT_MAX, BLKIO_WEIGHT_MIN
 __all__ = [
     "BLKIO_WEIGHT_MIN",
     "BLKIO_WEIGHT_MAX",
+    "MAX_FLOOR_UTILISATION",
+    "EPS_REMAINING",
+    "CAP_SLACK",
     "normalize_weight",
     "clamp_weight",
     "normalize_throttle",
     "validate_demand",
 ]
+
+# -- waterfill solver constants -------------------------------------------
+#
+# Shared by the pure-python/numpy solver (:mod:`repro.storage.blkio`) and
+# the optional numba kernels (:mod:`repro.storage.jitkernels`); hoisted
+# here so both read one definition without a circular import.
+
+#: Writeback floors may reserve at most this fraction of the device:
+#: kernel dirty throttling keeps flushing, but never to the point of
+#: absolute reader starvation.
+MAX_FLOOR_UTILISATION = 0.8
+
+#: Residual utilisation below which filling stops (guards float drift).
+EPS_REMAINING = 1e-15
+
+#: Relative slack when deciding a stream's share saturates its headroom.
+CAP_SLACK = 1.0 + 1e-12
 
 
 def normalize_weight(weight: int | float) -> int:

@@ -55,11 +55,15 @@ def test_fig07_fingerprint_unchanged_by_dataplane():
 
 
 def _run_stress16(
-    fast_path: bool, *, with_plane: bool = False, horizon: float = 30.0
+    fast_path: bool,
+    *,
+    with_plane: bool = False,
+    horizon: float = 30.0,
+    dispatch: str = "batched",
 ) -> str:
     """The bench stress recipe (16 streams + weight churn), fingerprinted."""
     n_streams = 16
-    sim = Simulation()
+    sim = Simulation(dispatch=dispatch)
     device = BlockDevice(sim, DEVICE_PRESETS["seagate-hdd-2t"], fast_path=fast_path)
     if with_plane:
         DataPlane(sim).attach(device)
@@ -109,3 +113,13 @@ def test_stress16_with_default_plane_is_bit_identical():
 
 def test_stress16_reference_with_plane_is_bit_identical():
     assert _run_stress16(False, with_plane=True) == STRESS16_REFERENCE_HASH
+
+
+def test_stress16_scalar_dispatch_is_bit_identical():
+    """The hashes were recorded under batched dispatch (the default);
+    the per-entry scalar oracle must reproduce them exactly."""
+    assert _run_stress16(True, dispatch="scalar") == STRESS16_FAST_HASH
+
+
+def test_stress16_reference_scalar_dispatch_is_bit_identical():
+    assert _run_stress16(False, dispatch="scalar") == STRESS16_REFERENCE_HASH

@@ -343,6 +343,29 @@ class TestBehaviourFingerprints:
             == "1a54d4b48e4f444756a021047ced6da8c6f1618d79920e3f899f324a628fe620"
         )
 
+    # -- dispatch parity: the scalar oracle must hit the SAME hashes --
+    #
+    # The defaults above run under dispatch="batched" (epoch-grouped
+    # handler calls); dispatch="scalar" replays one Python callback per
+    # entry.  Identical hashes prove grouped dispatch is execution-order
+    # and bit identical, on both kernels.
+
+    def test_run_scenario_scalar_dispatch_matches(self):
+        res = run_scenario(ScenarioConfig(max_steps=6, seed=3, dispatch="scalar"))
+        assert (
+            _fingerprint(res.records, [res.final_time, res.weight_history])
+            == "3303f5b2ae6bf5dd97a7b64fcd6a5aa10737915fdfbc5a9dfb52c2ae55dee80e"
+        )
+
+    def test_run_scenario_heap_scalar_dispatch_matches(self):
+        res = run_scenario(
+            ScenarioConfig(max_steps=6, seed=3, kernel="heap", dispatch="scalar")
+        )
+        assert (
+            _fingerprint(res.records, [res.final_time, res.weight_history])
+            == "3303f5b2ae6bf5dd97a7b64fcd6a5aa10737915fdfbc5a9dfb52c2ae55dee80e"
+        )
+
 
 def _sweep_configs() -> list[ScenarioConfig]:
     # 8 configs: 2 policies x 4 seeds, kept tiny so the spawn pool's

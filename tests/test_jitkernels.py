@@ -1,0 +1,179 @@
+"""Gating and bit-identity tests for the optional numba kernels.
+
+The jitted kernels (``repro.storage.jitkernels``) are drop-in
+accelerators: strict-IEEE ``@njit`` transcriptions of the pure-python
+solver/progress/horizon loops, exported as ``None`` whenever numba is
+absent or ``REPRO_JIT`` disables them.  The property tests here enforce
+the bit-identity contract with ``==`` on raw floats (skip-marked unless
+numba is installed — CI runs one matrix leg with it); the gating tests
+run everywhere via subprocesses so the env flag is read at a fresh
+import.
+"""
+
+import math
+import os
+import subprocess
+import sys
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.storage import jitkernels
+from repro.storage.blkio import _solve_scalar
+from repro.storage.limits import CAP_SLACK, EPS_REMAINING, MAX_FLOOR_UTILISATION
+
+needs_numba = pytest.mark.skipif(
+    not (jitkernels.HAVE_NUMBA and jitkernels.ENABLED),
+    reason="numba not installed (or REPRO_JIT disabled)",
+)
+
+_weight = st.floats(1.0, 1000.0, allow_nan=False)
+_peak = st.floats(1e5, 2e8, allow_nan=False)
+_cap = st.one_of(st.just(math.inf), st.floats(1e4, 1e8, allow_nan=False))
+_floor = st.floats(0.0, 5e7, allow_nan=False)
+
+
+@st.composite
+def _demand_arrays(draw, max_n=20):
+    n = draw(st.integers(1, max_n))
+    w = np.array([draw(_weight) for _ in range(n)])
+    p = np.array([draw(_peak) for _ in range(n)])
+    c = np.array([draw(_cap) for _ in range(n)])
+    f = np.array([draw(_floor) for _ in range(n)])
+    return w, p, c, f
+
+
+@needs_numba
+class TestJitBitIdentity:
+    @given(arrays=_demand_arrays())
+    @settings(max_examples=200, deadline=None)
+    def test_waterfill_matches_solve_scalar(self, arrays):
+        w, p, c, f = arrays
+        rates_jit, rounds_jit, capped_jit = jitkernels.waterfill(w, p, c, f)
+        rates_py, rounds_py, capped_py = _solve_scalar(
+            w.tolist(), p.tolist(), c.tolist(), f.tolist()
+        )
+        assert rates_jit.tolist() == rates_py  # exact, not approx
+        assert rounds_jit == rounds_py
+        assert capped_jit == capped_py
+
+    @given(
+        arrays=_demand_arrays(),
+        dt=st.floats(1e-6, 100.0, allow_nan=False),
+        acc=st.floats(0.0, 1e12, allow_nan=False),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_progress_matches_pure_loop(self, arrays, dt, acc):
+        w, p, _, _ = arrays
+        rate = p.copy()
+        rem = w * 1e6
+        is_write = np.array([i % 3 == 0 for i in range(len(w))])
+        eps = 0.5
+
+        rem_py = rem.copy()
+        acc_read, acc_write, n_fin = acc, acc + 1.0, 0
+        for i in range(len(rate)):
+            mv = rate[i] * dt
+            ri = rem_py[i]
+            if mv > ri:
+                mv = ri
+            ri -= mv
+            rem_py[i] = ri
+            if is_write[i]:
+                acc_write += mv
+            else:
+                acc_read += mv
+            if ri <= eps:
+                n_fin += 1
+
+        rem_jit = rem.copy()
+        out = jitkernels.progress(rate, rem_jit, is_write, dt, acc, acc + 1.0, eps)
+        assert out == (acc_read, acc_write, n_fin)
+        assert rem_jit.tolist() == rem_py.tolist()
+
+    @given(arrays=_demand_arrays())
+    @settings(max_examples=200, deadline=None)
+    def test_horizon_matches_pure_loop(self, arrays):
+        w, p, _, _ = arrays
+        rate = np.where(np.arange(len(p)) % 4 == 0, 0.0, p)
+        rem = w * 1e6
+        h_py = math.inf
+        for r, ri in zip(rate.tolist(), rem.tolist()):
+            if r > 0.0:
+                t = ri / r
+                if t < h_py:
+                    h_py = t
+        assert jitkernels.horizon(rate, rem) == h_py
+
+
+def _fresh_import(extra_env, code):
+    env = dict(os.environ)
+    env.update(extra_env)
+    return subprocess.run(
+        [sys.executable, "-c", code],
+        env=env,
+        capture_output=True,
+        text=True,
+        timeout=120,
+    )
+
+
+class TestGating:
+    def test_flag_off_exports_none(self):
+        proc = _fresh_import(
+            {"REPRO_JIT": "0"},
+            "import repro.storage.jitkernels as j\n"
+            "assert j.ENABLED is False\n"
+            "assert j.waterfill is None and j.progress is None and j.horizon is None\n",
+        )
+        assert proc.returncode == 0, proc.stderr
+
+    def test_flag_on_without_numba_warns_and_falls_back(self):
+        if jitkernels.HAVE_NUMBA:
+            pytest.skip("numba installed; the forced-on path compiles instead")
+        proc = _fresh_import(
+            {"REPRO_JIT": "1"},
+            "import warnings\n"
+            "with warnings.catch_warnings(record=True) as caught:\n"
+            "    warnings.simplefilter('always')\n"
+            "    import repro.storage.jitkernels as j\n"
+            "assert j.ENABLED is False and j.waterfill is None\n"
+            "assert any('falling back' in str(w.message) for w in caught)\n",
+        )
+        assert proc.returncode == 0, proc.stderr
+
+    def test_auto_tracks_numba_availability(self):
+        proc = _fresh_import(
+            {"REPRO_JIT": "auto"},
+            "import repro.storage.jitkernels as j\n"
+            "assert j.ENABLED == (j.HAVE_NUMBA and j.waterfill is not None)\n",
+        )
+        assert proc.returncode == 0, proc.stderr
+
+    def test_device_and_solver_run_without_jit(self):
+        """The simulation stack must never require the kernels: a fresh
+        import with REPRO_JIT=0 still completes a device workload."""
+        proc = _fresh_import(
+            {"REPRO_JIT": "0"},
+            "from repro.simkernel import Simulation\n"
+            "from repro.storage.cgroup import CgroupController\n"
+            "from repro.storage.device import DEVICE_PRESETS, BlockDevice\n"
+            "sim = Simulation()\n"
+            "device = BlockDevice(sim, DEVICE_PRESETS['seagate-hdd-2t'])\n"
+            "cg = CgroupController().create('a')\n"
+            "device.submit(cg, 1 << 20, 'read')\n"
+            "sim.run()\n"
+            "assert device.bytes_moved['read'] == (1 << 20)\n",
+        )
+        assert proc.returncode == 0, proc.stderr
+
+    def test_constants_shared_with_solver(self):
+        """The jit module reads the same limits the pure solver uses —
+        a drifted copy would silently break bit-identity."""
+        import repro.storage.blkio as blkio
+
+        assert blkio._EPS_REMAINING == EPS_REMAINING
+        assert blkio._CAP_SLACK == CAP_SLACK
+        assert blkio.MAX_FLOOR_UTILISATION == MAX_FLOOR_UTILISATION
