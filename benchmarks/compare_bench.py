@@ -15,8 +15,11 @@ Two gates run over every benchmark present in both reports:
   than ``--events-threshold`` (default 20 %) against the baseline emits
   a ``::error`` line and the script exits 1, failing CI.  The gate is
   generic over every row carrying the field, so schema-4 additions
-  (``blkio_stress64``, ``blkio_soak256``) are covered the moment the
-  committed baseline records them.
+  (``blkio_stress64``, ``blkio_soak256``) and the schema-5 cluster rows
+  (``cluster_soak_shards{1,4,8}`` — aggregate events/sec over all shard
+  workers) are covered the moment the committed baseline records them.
+  ``derived.cluster_scaling_8x`` is recorded but not gated: the
+  8-shard/1-shard ratio tracks the runner's core count, not the code.
 
 The script also renders an events/sec **trend table** (scenario rows,
 baseline vs fresh, signed delta) — appended to ``$GITHUB_STEP_SUMMARY``

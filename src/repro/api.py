@@ -77,6 +77,16 @@ from repro.faults import (
     SpeedStep,
 )
 
+# -- cluster scale ---------------------------------------------------------
+from repro.cluster import (
+    ARBITRATION,
+    ClusterConfig,
+    ClusterResult,
+    register_arbitration,
+    run_cluster,
+)
+from repro.experiments.cluster import ClusterCompareResult, run_cluster_compare
+
 # -- observability ---------------------------------------------------------
 from repro.obs import OBS
 
@@ -128,6 +138,14 @@ __all__ = [
     "register_placement",
     "register_policy",
     "register_storage_preset",
+    # cluster scale
+    "ARBITRATION",
+    "ClusterConfig",
+    "ClusterResult",
+    "ClusterCompareResult",
+    "register_arbitration",
+    "run_cluster",
+    "run_cluster_compare",
     # experiments
     "CampaignConfig",
     "CampaignResult",

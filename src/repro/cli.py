@@ -5,6 +5,7 @@ Examples::
     python -m repro scenario --app xgc --policy cross-layer --steps 30
     python -m repro figure fig08 --fast
     python -m repro figure headline
+    python -m repro cluster --nodes 32 --arbitration adaptbf --workers auto
     python -m repro tables
     python -m repro list
 """
@@ -145,6 +146,18 @@ def _qosplane(fast: bool, workers=1):
     return run_qosplane(max_steps=8 if fast else 20)
 
 
+def _cluster(fast: bool, workers=1):
+    from repro.experiments.cluster import run_cluster_compare
+
+    return run_cluster_compare(
+        n_nodes=8 if fast else 32,
+        shards=2 if fast else 4,
+        tenants_per_node=2 if fast else 4,
+        rounds=12 if fast else 40,
+        workers=workers,
+    )
+
+
 #: Regenerable paper artifacts: name -> callable(fast, workers=1).
 #: ``workers`` fans grid sweeps out over a SweepExecutor process pool
 #: where the underlying figure supports it; the rest ignore it.
@@ -167,6 +180,7 @@ FIGURES: dict[str, Callable[..., object]] = {
     "campaign": _campaign,
     "resilience": _resilience,
     "qosplane": _qosplane,
+    "cluster": _cluster,
 }
 
 
@@ -293,6 +307,29 @@ def build_parser() -> argparse.ArgumentParser:
         help="process-pool size for grid sweeps ('auto' = all CPUs; "
         "figures without a sweep ignore it)",
     )
+
+    cl = sub.add_parser(
+        "cluster",
+        help="run a node-sharded cluster scenario (one arbitration policy)",
+    )
+    from repro.cluster.arbitration import ARBITRATION
+
+    cl.add_argument("--nodes", type=int, default=32)
+    cl.add_argument("--shards", type=int, default=4)
+    cl.add_argument("--tenants", type=int, default=4, help="tenants per node")
+    cl.add_argument("--rounds", type=int, default=40)
+    cl.add_argument(
+        "--arbitration", default="centralized", choices=ARBITRATION.names()
+    )
+    cl.add_argument("--seed", type=int, default=0)
+    cl.add_argument(
+        "--workers",
+        default="auto",
+        metavar="N",
+        help="shard worker processes ('auto' = all CPUs, capped by shards "
+        "and REPRO_WORKERS)",
+    )
+    cl.add_argument("--json", action="store_true", help="print a JSON summary")
 
     bench = sub.add_parser(
         "bench", help="run the microbenchmark suite and write BENCH_micro.json"
@@ -442,6 +479,53 @@ def _cmd_export(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_cluster(args: argparse.Namespace) -> int:
+    from repro.cluster import ClusterConfig, run_cluster
+
+    config = ClusterConfig(
+        n_nodes=args.nodes,
+        shards=args.shards,
+        tenants_per_node=args.tenants,
+        rounds=args.rounds,
+        arbitration=args.arbitration,
+        seed=args.seed,
+        workers=_parse_workers(args.workers),
+    )
+    result = run_cluster(config)
+    summary = {
+        "arbitration": args.arbitration,
+        "nodes": args.nodes,
+        "shards": args.shards,
+        "workers": result.workers,
+        "rounds": args.rounds,
+        "events_executed": result.events_executed,
+        "events_per_sec": result.events_per_sec,
+        "jain_fairness": result.jain_fairness,
+        "p99_latency_s": result.p99_latency_s,
+        "slo_violation_rate": result.slo_violation_rate,
+        "messages_by_kind": dict(sorted(result.messages_by_kind.items())),
+        "conservation_error": result.conservation_error,
+        "fingerprint": result.fingerprint(),
+    }
+    if args.json:
+        print(json.dumps(summary, indent=2))
+        return 0
+    print(f"cluster {args.arbitration}: {args.nodes} nodes x {args.tenants} tenants, "
+          f"{args.shards} shards on {result.workers} worker(s), {args.rounds} rounds")
+    print(f"  events        : {result.events_executed:,} "
+          f"({result.events_per_sec:,.0f} events/s)")
+    print(f"  Jain fairness : {result.jain_fairness:.4f}")
+    print(f"  p99 latency   : {result.p99_latency_s:.2f} s")
+    print(f"  SLO violations: {result.slo_violation_rate * 100:.1f}% of "
+          f"{sum(r.completions for r in result.reports)} requests")
+    msgs = ", ".join(f"{k}={v}" for k, v in sorted(result.messages_by_kind.items()))
+    print(f"  bus traffic   : {result.messages_total} msgs ({msgs or '-'})")
+    if result.conservation_error is not None:
+        print(f"  rate conservation error: {result.conservation_error:.2e}")
+    print(f"  fingerprint   : {summary['fingerprint'][:16]}")
+    return 0
+
+
 def _cmd_bench(args: argparse.Namespace) -> int:
     from repro.experiments.bench import (
         BENCH_FILENAME,
@@ -497,6 +581,7 @@ def main(argv: list[str] | None = None) -> int:
         "figure": _cmd_figure,
         "iobench": _cmd_iobench,
         "export": _cmd_export,
+        "cluster": _cmd_cluster,
         "bench": _cmd_bench,
         "tables": _cmd_tables,
         "list": _cmd_list,

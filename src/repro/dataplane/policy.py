@@ -190,6 +190,39 @@ class TokenBucket:
             return start - now
         return (start - now) + (nbytes - lvl) / self.rate
 
+    def backlog_bytes(self, now: float) -> float:
+        """Bytes already admitted but still refilling (the queued deficit).
+
+        A reservation larger than the level pushes the anchor into the
+        future; the distance from ``now`` to that anchor, times the rate,
+        is exactly the work the bucket still owes — the signal adaptive
+        token borrowing acts on.  Zero when no reservation is pending.
+        """
+        return max(0.0, self._anchor_time - now) * self.rate
+
+    def set_rate(self, rate: float, now: float) -> None:
+        """Re-rate the bucket at ``now`` without disturbing its level.
+
+        Credit accrued so far is folded into the anchor at the old rate,
+        then the new rate applies from ``now`` on — so a rate change at a
+        round boundary never mints or destroys tokens.  With a
+        reservation still refilling (anchor in the future) the anchor is
+        re-derived so the *outstanding deficit in bytes* is preserved:
+        the queued work drains at the new rate from ``now`` on.
+        Admission delays already handed out are not revisited.
+        """
+        rate = float(rate)
+        if not rate > 0:
+            raise ValueError(f"rate must be > 0, got {rate!r}")
+        if self._anchor_time >= now:
+            deficit = (self._anchor_time - now) * self.rate
+            self._anchor_time = now + deficit / rate
+            self._anchor_tokens = 0.0 if deficit > 0.0 else self._anchor_tokens
+        else:
+            self._anchor_tokens = self.level(now)
+            self._anchor_time = now
+        self.rate = rate
+
     def reserve(self, nbytes: float, now: float) -> float:
         """Admit ``nbytes``; returns the shaping delay (0.0 = immediate).
 

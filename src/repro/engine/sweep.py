@@ -16,6 +16,12 @@ Workers are separate OS processes (``spawn`` context, mirroring the
 paper's per-node isolation), so runs share no state and determinism is
 free: the same config and seed produce the same summary wherever they
 execute.
+
+The pool is **warm**: the first parallel ``map`` spawns it and later
+calls reuse it, so a loop of maps (the cluster round loop, a figure
+running several grids back to back) pays worker startup once.  Use the
+executor as a context manager — or call :meth:`close` — to reclaim the
+workers; an unclosed executor tears its pool down on garbage collection.
 """
 
 from __future__ import annotations
@@ -25,25 +31,60 @@ import os
 from dataclasses import dataclass
 from typing import Callable, Iterable, Sequence, TypeVar
 
-__all__ = ["ScenarioSummary", "SweepExecutor", "summarize_result", "resolve_workers"]
+__all__ = [
+    "ScenarioSummary",
+    "SweepExecutor",
+    "summarize_result",
+    "resolve_workers",
+    "WORKERS_ENV",
+]
 
 _T = TypeVar("_T")
 _R = TypeVar("_R")
 
 
+#: Environment override capping every resolved worker count.  CI and the
+#: cluster runner set this to bound parallelism globally instead of
+#: threading a ``--workers`` flag through every CLI entry point.
+WORKERS_ENV = "REPRO_WORKERS"
+
+
+def _workers_cap() -> int | None:
+    """The ``REPRO_WORKERS`` cap, or None when unset/empty."""
+    raw = os.environ.get(WORKERS_ENV)
+    if raw is None or raw.strip() == "":
+        return None
+    try:
+        cap = int(raw)
+    except ValueError:
+        raise ValueError(
+            f"{WORKERS_ENV} must be a positive integer, got {raw!r}"
+        ) from None
+    if cap < 1:
+        raise ValueError(f"{WORKERS_ENV} must be >= 1, got {raw!r}")
+    return cap
+
+
 def resolve_workers(workers: int | str | None) -> int:
-    """Normalize a worker count: ``None``/1 → serial, ``"auto"`` → CPUs."""
+    """Normalize a worker count: ``None``/1 → serial, ``"auto"`` → CPUs.
+
+    The ``REPRO_WORKERS`` environment variable, when set, caps the
+    result (explicit counts included), so an operator can bound
+    parallelism for a whole run without touching call sites.
+    """
     if workers is None:
-        return 1
-    if workers == "auto":
+        n = 1
+    elif workers == "auto":
         try:
-            return max(1, len(os.sched_getaffinity(0)))
+            n = max(1, len(os.sched_getaffinity(0)))
         except AttributeError:  # pragma: no cover - non-Linux
-            return max(1, os.cpu_count() or 1)
-    n = int(workers)
-    if n < 1:
-        raise ValueError(f"workers must be >= 1 or 'auto', got {workers!r}")
-    return n
+            n = max(1, os.cpu_count() or 1)
+    else:
+        n = int(workers)
+        if n < 1:
+            raise ValueError(f"workers must be >= 1 or 'auto', got {workers!r}")
+    cap = _workers_cap()
+    return n if cap is None else min(n, cap)
 
 
 @dataclass(frozen=True)
@@ -97,6 +138,11 @@ class SweepExecutor:
     back in input order regardless of completion order, and the serial
     path runs the exact same job function — a parallel sweep is
     element-for-element identical to its serial fallback.
+
+    The process pool is created lazily on the first parallel ``map`` and
+    stays warm for subsequent calls (``pool_creations`` counts spawns, so
+    tests can pin the reuse).  :meth:`close` — or exiting the executor's
+    ``with`` block — reclaims the workers.
     """
 
     def __init__(
@@ -109,10 +155,39 @@ class SweepExecutor:
         self.workers = resolve_workers(workers)
         self.mp_context = mp_context
         self.chunksize = chunksize
+        self._pool = None
+        #: Number of times a process pool has been spawned; a loop of
+        #: ``map`` calls over one executor keeps this at 1.
+        self.pool_creations = 0
 
     @property
     def is_parallel(self) -> bool:
         return self.workers > 1
+
+    def _ensure_pool(self):
+        if self._pool is None:
+            self._pool = mp.get_context(self.mp_context).Pool(processes=self.workers)
+            self.pool_creations += 1
+        return self._pool
+
+    def close(self) -> None:
+        """Tear down the warm pool (idempotent; a later map respawns it)."""
+        pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.terminate()
+            pool.join()
+
+    def __enter__(self) -> "SweepExecutor":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __del__(self) -> None:  # pragma: no cover - GC timing dependent
+        try:
+            self.close()
+        except Exception:
+            pass
 
     def map(self, fn: Callable[[_T], _R], items: Iterable[_T]) -> list[_R]:
         """Apply ``fn`` to every item, preserving input order."""
@@ -121,8 +196,7 @@ class SweepExecutor:
             return [fn(job) for job in jobs]
         procs = min(self.workers, len(jobs))
         chunksize = self.chunksize or max(1, len(jobs) // (procs * 2))
-        with mp.get_context(self.mp_context).Pool(processes=procs) as pool:
-            return pool.map(fn, jobs, chunksize=chunksize)
+        return self._ensure_pool().map(fn, jobs, chunksize=chunksize)
 
     def run_scenarios(
         self,

@@ -96,6 +96,11 @@ class Counter(_Metric):
     def series(self) -> dict[LabelKey, float]:
         return dict(self._values)
 
+    def merge(self, other: "Counter") -> None:
+        """Fold another counter in: per-series sums (cross-process fold)."""
+        for key, value in other._values.items():
+            self._values[key] = self._values.get(key, 0.0) + value
+
 
 class Gauge(_Metric):
     """A settable last-observed value per label set."""
@@ -121,6 +126,10 @@ class Gauge(_Metric):
 
     def series(self) -> dict[LabelKey, float]:
         return dict(self._values)
+
+    def merge(self, other: "Gauge") -> None:
+        """Fold another gauge in: last write wins (``other`` is newer)."""
+        self._values.update(other._values)
 
 
 class Histogram(_Metric):
@@ -159,9 +168,57 @@ class Histogram(_Metric):
         entry = self._series.get(_label_key(labels))
         return int(entry[1][1]) if entry else 0
 
+    def quantile(self, q: float, **labels: object) -> float:
+        """Upper-bound estimate of the ``q``-quantile from bucket counts.
+
+        Returns the smallest bucket bound whose cumulative count covers a
+        ``q`` fraction of the observations (``inf`` when the quantile
+        falls in the overflow bucket, ``nan`` with no observations).
+        Deterministic and merge-stable: the answer depends only on the
+        bucket layout and counts, never on observation order.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise MetricError(f"quantile must be in [0, 1], got {q!r}")
+        entry = self._series.get(_label_key(labels))
+        if entry is None or entry[1][1] <= 0:
+            return float("nan")
+        counts = entry[0]
+        need = q * entry[1][1]
+        running = 0
+        for bound, c in zip(self.bounds, counts):
+            running += c
+            if running >= need:
+                return bound
+        return float("inf")
+
     def sum(self, **labels: object) -> float:
         entry = self._series.get(_label_key(labels))
         return entry[1][0] if entry else 0.0
+
+    def merge(self, other: "Histogram") -> None:
+        """Fold another histogram in: the union of both observation sets.
+
+        Bucket counts add element-wise and sum/count accumulate, so the
+        merged series is exactly what observing both processes' samples
+        into one histogram would have produced.  Requires identical
+        bucket bounds (merging mismatched layouts would silently corrupt
+        percentile estimates).
+        """
+        if other.bounds != self.bounds:
+            raise MetricError(
+                f"histogram {self.name!r} bucket bounds differ "
+                f"({self.bounds} vs {other.bounds}); cannot merge"
+            )
+        for key, (counts, agg) in other._series.items():
+            entry = self._series.get(key)
+            if entry is None:
+                self._series[key] = (list(counts), list(agg))
+                continue
+            mine, my_agg = entry
+            for i, c in enumerate(counts):
+                mine[i] += c
+            my_agg[0] += agg[0]
+            my_agg[1] += agg[1]
 
     def series(self) -> dict[LabelKey, dict]:
         out: dict[LabelKey, dict] = {}
@@ -240,6 +297,34 @@ class Registry:
     def clear(self) -> None:
         self._metrics.clear()
         self._epoch += 1
+
+    def merge(self, other: "Registry") -> "Registry":
+        """Fold another registry's instruments into this one; returns self.
+
+        The cross-process reduction: each worker records into a private
+        registry and the coordinator folds the snapshots together.
+        Semantics per kind — counters sum, gauges last-write (``other``
+        wins), histograms combine bucket-by-bucket.  Instruments only in
+        ``other`` are adopted via a fresh instrument plus a merge (never
+        shared, so later merges cannot alias a worker's live state);
+        same-name instruments of different kinds (or histograms with
+        different bucket layouts) raise :class:`MetricError`.
+        """
+        for name, theirs in sorted(other._metrics.items()):
+            mine = self._metrics.get(name)
+            if mine is None:
+                if isinstance(theirs, Histogram):
+                    mine = Histogram(name, theirs.help, buckets=theirs.bounds)
+                else:
+                    mine = type(theirs)(name, theirs.help)
+                self._metrics[name] = mine
+            elif not isinstance(theirs, type(mine)):
+                raise MetricError(
+                    f"metric {name!r} is a {mine.kind} here but a "
+                    f"{theirs.kind} in the registry being merged"
+                )
+            mine.merge(theirs)
+        return self
 
     def snapshot(self) -> dict:
         """All instruments as plain data (JSON-serialisable)."""

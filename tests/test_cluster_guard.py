@@ -1,0 +1,95 @@
+"""Determinism guards for the cluster kernel.
+
+Two properties the whole ``repro.cluster`` design exists to uphold:
+
+* **Worker-count invariance** — a seeded cluster run produces
+  byte-identical merged metrics and SLO boards whether the shards run
+  serially in-process (``workers=1``) or on a spawn pool
+  (``workers=4``), at every shard count.  The fingerprint covers the
+  merged metrics snapshot, the SLO board, bus traffic by kind, event
+  counts, and the per-round rate timeline, so any scheduling leak —
+  delivery order, merge order, RNG placement — trips it.
+
+* **Pinned 1-shard parity** — a 1-shard cluster is just a plain
+  :class:`~repro.simkernel.Simulation` hosting every node, so its
+  fingerprint is pinned to a recorded constant (the same style as
+  ``test_dataplane_guard.py``).  A changed hash means node-level
+  behaviour changed for *everyone*, not just a sharding bug.
+
+Re-recording policy: the pinned hashes move together with any
+intentional change to node demand generation, token-bucket semantics,
+arbitration policies, or the fingerprint document itself.  Re-record by
+running the printed config through ``ClusterResult.fingerprint()`` and
+explain the behaviour change in the commit that moves them.
+"""
+
+
+import pytest
+
+from repro.cluster import ClusterConfig, make_shard_pool, run_cluster
+
+#: The pinned 1-shard scenario: every node on one plain Simulation.
+PARITY_CONFIG = ClusterConfig(
+    n_nodes=8, shards=1, tenants_per_node=2, rounds=10, seed=7
+)
+PARITY_FINGERPRINT = (
+    "02093043c49915c141dc88cc7ceccbe80bff64bee5825599ca9644c20834a6fc"
+)
+#: Same scenario under decentralized token borrowing.
+PARITY_FINGERPRINT_ADAPTBF = (
+    "486a486fe8ac13234ee7f6620c2b7eeed96ea925714076a8cab0edb0e6bc22c6"
+)
+
+
+class TestPinnedParity:
+    def test_one_shard_centralized(self):
+        assert run_cluster(PARITY_CONFIG).fingerprint() == PARITY_FINGERPRINT
+
+    def test_one_shard_adaptbf(self):
+        cfg = PARITY_CONFIG.with_(arbitration="adaptbf")
+        assert run_cluster(cfg).fingerprint() == PARITY_FINGERPRINT_ADAPTBF
+
+
+class TestWorkerCountInvariance:
+    """workers=1 vs workers=4 must be byte-identical, per shard count.
+
+    One warm process pool per shard count carries both policies (also
+    exercising pool reuse on the parallel path); the serial arm rebuilds
+    from scratch each run.  ``REPRO_WORKERS`` is cleared so an
+    environment cap cannot quietly turn the parallel arm serial.
+    """
+
+    POLICIES = ("centralized", "adaptbf")
+
+    @pytest.fixture(autouse=True)
+    def _no_env_cap(self, monkeypatch):
+        monkeypatch.delenv("REPRO_WORKERS", raising=False)
+
+    @pytest.mark.parametrize("shards", [1, 2, 8])
+    def test_fingerprint_matches_serial(self, shards):
+        base = ClusterConfig(
+            n_nodes=8, shards=shards, tenants_per_node=2, rounds=6, seed=11
+        )
+        # Not capped by CPU count: oversubscribed spawn workers still
+        # must produce identical bytes, that is the point of the guard.
+        workers = min(4, shards)
+        pool = make_shard_pool(base, workers) if workers > 1 else None
+        try:
+            for policy in self.POLICIES:
+                cfg = base.with_(arbitration=policy)
+                serial = run_cluster(cfg.with_(workers=1))
+                parallel = (
+                    run_cluster(cfg, pool=pool) if pool is not None else run_cluster(cfg)
+                )
+                assert serial.fingerprint() == parallel.fingerprint(), (
+                    f"{policy} fingerprint differs at shards={shards} "
+                    f"between workers=1 and workers={workers}"
+                )
+                # The board and reports are covered by the fingerprint;
+                # compare them directly too so a failure names the field.
+                assert serial.slo_board() == parallel.slo_board()
+                assert serial.reports == parallel.reports
+                assert serial.messages_by_kind == parallel.messages_by_kind
+        finally:
+            if pool is not None:
+                pool.close()

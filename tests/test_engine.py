@@ -436,3 +436,58 @@ class TestSweepExecutor:
         cfg = ScenarioConfig(max_steps=2, seed=0)
         (summary,) = SweepExecutor().run_scenarios([cfg])
         assert summary.mean_outcome_error is None
+
+
+def _square(x: int) -> int:
+    """Module-level so the spawn pool can pickle it."""
+    return x * x
+
+
+class TestSweepExecutorWarmPool:
+    def test_pool_spawned_once_across_maps(self):
+        # The warm-pool satellite: two parallel maps over one executor
+        # must reuse the same process pool, not respawn per call.
+        with SweepExecutor(workers=2) as ex:
+            first = ex.map(_square, range(6))
+            second = ex.map(_square, range(6, 12))
+            assert first == [x * x for x in range(6)]
+            assert second == [x * x for x in range(6, 12)]
+            assert ex.pool_creations == 1
+
+    def test_serial_map_never_spawns(self):
+        ex = SweepExecutor(workers=1)
+        assert ex.map(_square, range(4)) == [0, 1, 4, 9]
+        assert ex.pool_creations == 0
+
+    def test_single_job_skips_pool_even_when_parallel(self):
+        with SweepExecutor(workers=2) as ex:
+            assert ex.map(_square, [3]) == [9]
+            assert ex.pool_creations == 0
+
+    def test_close_then_map_respawns(self):
+        with SweepExecutor(workers=2) as ex:
+            ex.map(_square, range(4))
+            ex.close()
+            ex.close()  # idempotent
+            ex.map(_square, range(4))
+            assert ex.pool_creations == 2
+
+
+class TestWorkersEnvOverride:
+    def test_env_caps_explicit_and_auto(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKERS", "2")
+        assert resolve_workers(8) == 2
+        assert resolve_workers("auto") <= 2
+        assert resolve_workers(1) == 1  # cap never raises the count
+
+    def test_env_unset_is_no_cap(self, monkeypatch):
+        monkeypatch.delenv("REPRO_WORKERS", raising=False)
+        assert resolve_workers(8) == 8
+
+    def test_env_rejects_garbage(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKERS", "lots")
+        with pytest.raises(ValueError, match="REPRO_WORKERS"):
+            resolve_workers(4)
+        monkeypatch.setenv("REPRO_WORKERS", "0")
+        with pytest.raises(ValueError, match="REPRO_WORKERS"):
+            resolve_workers(4)

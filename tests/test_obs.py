@@ -129,6 +129,121 @@ class TestRegistry:
         assert len(reg) == 0
 
 
+class TestMerge:
+    """Cross-process folds: ``Registry.merge`` and the per-kind semantics."""
+
+    def test_counters_sum_per_series(self):
+        a, b = Counter("c"), Counter("c")
+        a.inc(1, device="x")
+        b.inc(2, device="x")
+        b.inc(5, device="y")
+        a.merge(b)
+        assert a.value(device="x") == pytest.approx(3.0)
+        assert a.value(device="y") == pytest.approx(5.0)
+
+    def test_gauges_last_write_wins(self):
+        a, b = Gauge("g"), Gauge("g")
+        a.set(1.0, tier="fast")
+        a.set(9.0, tier="slow")
+        b.set(2.0, tier="fast")
+        a.merge(b)
+        assert a.value(tier="fast") == 2.0  # other is newer
+        assert a.value(tier="slow") == 9.0  # untouched by the merge
+
+    def test_histograms_concatenate_observations(self):
+        a = Histogram("h", buckets=(1.0, 10.0))
+        b = Histogram("h", buckets=(1.0, 10.0))
+        for v in (0.5, 5.0):
+            a.observe(v)
+        for v in (0.7, 50.0):
+            b.observe(v)
+        a.merge(b)
+        assert a.count() == 4
+        assert a.sum() == pytest.approx(56.2)
+        series = a.series()[()]
+        assert series["buckets"]["1.0"] == 2
+        assert series["buckets"]["10.0"] == 3
+        assert series["buckets"]["+Inf"] == 4
+
+    def test_histogram_bounds_mismatch_rejected(self):
+        a = Histogram("h", buckets=(1.0,))
+        b = Histogram("h", buckets=(2.0,))
+        with pytest.raises(MetricError, match="bucket bounds"):
+            a.merge(b)
+
+    def test_registry_merge_folds_all_kinds(self):
+        left, right = Registry(), Registry()
+        left.counter("c").inc(1)
+        right.counter("c").inc(2)
+        right.gauge("g").set(7.0)
+        right.histogram("h", buckets=(1.0,)).observe(0.5)
+        assert left.merge(right) is left
+        assert left.counter("c").value() == pytest.approx(3.0)
+        assert left.gauge("g").value() == 7.0
+        assert left.histogram("h", buckets=(1.0,)).count() == 1
+
+    def test_registry_merge_adopts_copies_not_aliases(self):
+        left, right = Registry(), Registry()
+        right.counter("c").inc(1)
+        left.merge(right)
+        right.counter("c").inc(10)  # worker keeps recording afterwards
+        assert left.counter("c").value() == pytest.approx(1.0)
+
+    def test_registry_merge_kind_clash_rejected(self):
+        left, right = Registry(), Registry()
+        left.counter("x")
+        right.gauge("x")
+        with pytest.raises(MetricError, match="counter"):
+            left.merge(right)
+
+    def test_registry_merge_is_associative_for_counters(self):
+        regs = []
+        for n in (1, 2, 4):
+            reg = Registry()
+            reg.counter("c").inc(n)
+            regs.append(reg)
+        a = Registry()
+        for reg in regs:
+            a.merge(reg)
+        b = Registry().merge(regs[0]).merge(Registry().merge(regs[1]).merge(regs[2]))
+        assert a.snapshot() == b.snapshot()
+
+
+class TestHistogramQuantile:
+    def test_quantile_upper_bound_semantics(self):
+        h = Histogram("h", buckets=(1.0, 10.0, 100.0))
+        for v in (0.5, 0.7, 5.0, 50.0):
+            h.observe(v)
+        assert h.quantile(0.5) == 1.0
+        assert h.quantile(0.75) == 10.0
+        assert h.quantile(1.0) == 100.0
+
+    def test_quantile_overflow_is_inf(self):
+        h = Histogram("h", buckets=(1.0,))
+        h.observe(5.0)
+        assert h.quantile(0.99) == math.inf
+
+    def test_quantile_empty_is_nan(self):
+        h = Histogram("h", buckets=(1.0,))
+        assert math.isnan(h.quantile(0.5))
+
+    def test_quantile_range_validated(self):
+        h = Histogram("h", buckets=(1.0,))
+        with pytest.raises(MetricError):
+            h.quantile(1.5)
+
+    def test_quantile_merge_stable(self):
+        a = Histogram("h", buckets=(1.0, 10.0))
+        b = Histogram("h", buckets=(1.0, 10.0))
+        one = Histogram("h", buckets=(1.0, 10.0))
+        for i, v in enumerate((0.5, 5.0, 7.0, 0.2)):
+            (a if i % 2 else b).observe(v)
+            one.observe(v)
+        a.merge(b)
+        for q in (0.1, 0.5, 0.9, 0.99):
+            assert a.quantile(q) == one.quantile(q)
+
+
 class TestTracer:
     def test_events_stamped_with_bound_clock(self):
         sim = Simulation()

@@ -77,6 +77,7 @@ class TestCliParser:
             "campaign",
             "resilience",
             "qosplane",
+            "cluster",
         } == set(FIGURES)
 
 
