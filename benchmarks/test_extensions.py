@@ -33,7 +33,8 @@ def test_extension_churn(benchmark, emit):
     churns instead of being the fixed Table IV mix."""
     from repro.containers import ContainerRuntime
     from repro.core.abplot import AugmentationBandwidthPlot
-    from repro.core.controller import TangoController, make_policy
+    from repro.control import ControllerConfig, TangoController
+    from repro.core.controller import make_policy
     from repro.experiments.config import DEFAULTS
     from repro.engine.session import make_weight_function
     from repro.experiments.runner import build_ladder_for_app
@@ -69,8 +70,10 @@ def test_extension_churn(benchmark, emit):
             ladder,
             make_policy(policy, wf),
             AugmentationBandwidthPlot(bw_low=DEFAULTS.bw_low, bw_high=DEFAULTS.bw_high),
-            prescribed_bound=ladder.base_error,  # no error control, like Fig 8
-            priority=10.0,
+            # no error control (prescribed bound = base error), like Fig 8
+            config=ControllerConfig(
+                prescribed_bound=ladder.base_error, priority=10.0
+            ),
         )
         container = runtime.create("analytics")
         driver = AnalyticsDriver(container, dataset, controller, max_steps=50)

@@ -11,10 +11,10 @@ Run:  python examples/priority_qos.py
 """
 
 from repro.containers import ContainerRuntime
+from repro.control import ControllerConfig, TangoController
 from repro.core import (
     AugmentationBandwidthPlot,
     ErrorMetric,
-    TangoController,
     build_ladder,
     decompose,
     make_policy,
@@ -50,8 +50,7 @@ def main() -> None:
             ladder,
             make_policy("cross-layer", make_weight_function(ladder)),
             abplot,
-            prescribed_bound=0.001,
-            priority=priority,
+            config=ControllerConfig(prescribed_bound=0.001, priority=priority),
         )
         container = runtime.create(name)
         driver = AnalyticsDriver(container, dataset, controller, period=60.0, max_steps=30)

@@ -19,9 +19,19 @@ it breaks loudly at import time rather than at first use.
 
 from __future__ import annotations
 
+# -- adaptation controllers ------------------------------------------------
+from repro.control import (
+    AdaptationDecision,
+    BaseController,
+    ControllerConfig,
+    MpcController,
+    PidController,
+    TangoController,
+)
+
 # -- core pipeline: refactor -> ladder -> serialize ------------------------
 from repro.core.abplot import AugmentationBandwidthPlot
-from repro.core.controller import AdaptationDecision, TangoController, make_policy
+from repro.core.controller import make_policy
 from repro.core.error_control import AccuracyLadder, ErrorMetric, build_ladder
 from repro.core.estimator import DFTEstimator
 from repro.core.metrics import nrmse, psnr
@@ -36,6 +46,7 @@ from repro.dataplane import DataPlane, QosPolicy, SloTarget, TokenBucket
 from repro.engine.registry import (
     APPS,
     CLASSIFY_STAGES,
+    CONTROLLERS,
     ENFORCE_STAGES,
     ESTIMATORS,
     FAULT_CAMPAIGNS,
@@ -45,6 +56,7 @@ from repro.engine.registry import (
     STORAGE_PRESETS,
     register_app,
     register_classify_stage,
+    register_controller,
     register_enforce_stage,
     register_estimator,
     register_fault_campaign,
@@ -62,6 +74,7 @@ from repro.experiments.config import ScenarioConfig
 from repro.experiments.qosplane import QosPlaneResult, run_qosplane
 from repro.experiments.resilience import ResilienceResult, run_resilience
 from repro.experiments.runner import ScenarioResult, run_scenario
+from repro.experiments.stability import StabilityResult, run_stability
 
 # -- resilience layer ------------------------------------------------------
 from repro.faults import (
@@ -91,14 +104,21 @@ from repro.experiments.cluster import ClusterCompareResult, run_cluster_compare
 from repro.obs import OBS
 
 __all__ = [
+    # adaptation controllers
+    "AdaptationDecision",
+    "BaseController",
+    "CONTROLLERS",
+    "ControllerConfig",
+    "MpcController",
+    "PidController",
+    "TangoController",
+    "register_controller",
     # core pipeline
     "AccuracyLadder",
-    "AdaptationDecision",
     "AugmentationBandwidthPlot",
     "DFTEstimator",
     "Decomposition",
     "ErrorMetric",
-    "TangoController",
     "WeightFunction",
     "build_ladder",
     "calibrate_weight_function",
@@ -153,10 +173,12 @@ __all__ = [
     "ResilienceResult",
     "ScenarioConfig",
     "ScenarioResult",
+    "StabilityResult",
     "run_campaign",
     "run_qosplane",
     "run_resilience",
     "run_scenario",
+    "run_stability",
     # resilience layer
     "DEFAULT_RETRY_POLICY",
     "DegradationPolicy",

@@ -140,6 +140,12 @@ def _resilience(fast: bool, workers=1):
     return run_resilience(max_steps=20 if fast else 40)
 
 
+def _stability(fast: bool, workers=1):
+    from repro.experiments.stability import run_stability
+
+    return run_stability(max_steps=16 if fast else 40, workers=workers)
+
+
 def _qosplane(fast: bool, workers=1):
     from repro.experiments.qosplane import run_qosplane
 
@@ -179,6 +185,7 @@ FIGURES: dict[str, Callable[..., object]] = {
     "threetier": _threetier,
     "campaign": _campaign,
     "resilience": _resilience,
+    "stability": _stability,
     "qosplane": _qosplane,
     "cluster": _cluster,
 }
@@ -278,6 +285,39 @@ def build_parser() -> argparse.ArgumentParser:
         "figures without a sweep ignore it)",
     )
     _add_obs_args(fig)
+
+    st = sub.add_parser(
+        "stability",
+        help="score the controller family against stability reference inputs",
+    )
+    from repro.engine.registry import CONTROLLERS
+
+    st.add_argument("--app", default="xgc", choices=APPS.names())
+    st.add_argument("--policy", default="cross-layer", choices=POLICIES.names())
+    st.add_argument(
+        "--controllers",
+        default="tango,pid,mpc",
+        metavar="NAMES",
+        help="comma-separated controller names "
+        f"(registered: {', '.join(CONTROLLERS.names())})",
+    )
+    st.add_argument(
+        "--inputs",
+        default="step,ramp,osc",
+        metavar="NAMES",
+        help="comma-separated reference inputs (step, ramp, osc)",
+    )
+    st.add_argument("--steps", type=int, default=40)
+    st.add_argument("--seed", type=int, default=0)
+    st.add_argument(
+        "--workers",
+        default="1",
+        metavar="N",
+        help="process-pool size for the (controller x input) grid "
+        "('auto' = all CPUs)",
+    )
+    st.add_argument("--json", action="store_true", help="print a JSON summary")
+    _add_obs_args(st)
 
     io = sub.add_parser(
         "iobench", help="fio-style sanity check of the simulated device model"
@@ -413,6 +453,50 @@ def _cmd_figure(args: argparse.Namespace) -> int:
         with open(args.out, "w") as f:
             f.write(text + "\n")
         print(f"rows written to {args.out}", file=sys.stderr)
+    return 0
+
+
+def _cmd_stability(args: argparse.Namespace) -> int:
+    from dataclasses import asdict
+
+    from repro.engine.registry import CONTROLLERS
+    from repro.experiments.stability import STABILITY_INPUTS, run_stability
+
+    controllers = tuple(c for c in args.controllers.split(",") if c)
+    inputs = tuple(i for i in args.inputs.split(",") if i)
+    for name in controllers:
+        if name not in CONTROLLERS:
+            print(f"unknown controller {name!r}; registered: "
+                  f"{', '.join(CONTROLLERS.names())}", file=sys.stderr)
+            return 2
+    for name in inputs:
+        if name not in STABILITY_INPUTS:
+            print(f"unknown input {name!r}; expected one of "
+                  f"{', '.join(STABILITY_INPUTS)}", file=sys.stderr)
+            return 2
+    obs_on = _obs_begin(args)
+    try:
+        result = run_stability(
+            app=args.app,
+            policy=args.policy,
+            controllers=controllers,
+            inputs=inputs,
+            max_steps=args.steps,
+            seed=args.seed,
+            workers=_parse_workers(args.workers),
+        )
+    finally:
+        if obs_on:
+            _obs_finish(args)
+    if args.json:
+        rows = [
+            {k: ("nan" if isinstance(v, float) and v != v else v)
+             for k, v in asdict(r).items()}
+            for r in result.rows
+        ]
+        print(json.dumps({"rows": rows}, indent=2))
+    else:
+        print(result.format_rows())
     return 0
 
 
@@ -579,6 +663,7 @@ def main(argv: list[str] | None = None) -> int:
     handlers = {
         "scenario": _cmd_scenario,
         "figure": _cmd_figure,
+        "stability": _cmd_stability,
         "iobench": _cmd_iobench,
         "export": _cmd_export,
         "cluster": _cmd_cluster,

@@ -28,15 +28,25 @@ from repro.core.placement import PlacementPlan, plan_placement
 from repro.core.serialize import pack_ladder, unpack_ladder, unpack_partial
 from repro.core.transforms import get_transform, TRANSFORMS
 from repro.core.controller import (
-    AdaptationDecision,
     Policy,
     NoAdaptivityPolicy,
     StorageOnlyPolicy,
     AppOnlyPolicy,
     CrossLayerPolicy,
-    TangoController,
     make_policy,
 )
+
+
+def __getattr__(name: str):
+    # ``AdaptationDecision`` / ``TangoController`` moved to
+    # ``repro.control``; resolved lazily so importing ``repro.control``
+    # first never re-enters it mid-initialization (see
+    # ``repro.core.controller``).
+    if name in ("AdaptationDecision", "TangoController", "BaseController"):
+        from repro.core import controller
+
+        return getattr(controller, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 __all__ = [
     "rmse",
@@ -80,6 +90,7 @@ __all__ = [
     "StorageOnlyPolicy",
     "AppOnlyPolicy",
     "CrossLayerPolicy",
+    "BaseController",
     "TangoController",
     "make_policy",
 ]

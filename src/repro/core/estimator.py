@@ -34,6 +34,16 @@ class BandwidthEstimator:
         raise NotImplementedError
 
     def predict(self, steps: np.ndarray | int) -> np.ndarray | float:
+        """Predictions at step indices relative to the fit window start.
+
+        The in/out contract is shape-preserving and type-normalized:
+        scalar input (Python int/float, numpy scalar, or 0-d array)
+        returns a Python :class:`float`; array-like input returns a
+        ``float64`` :class:`~numpy.ndarray` of the same shape.  Every
+        implementation honours this (pinned in
+        ``tests/test_estimator.py``), so callers like the MPC horizon
+        sweep can rely on the array branch without defensive wrapping.
+        """
         raise NotImplementedError
 
     @property
@@ -131,14 +141,17 @@ class DFTEstimator(BandwidthEstimator):
         """
         if not self.is_fitted:
             raise RuntimeError("estimator has not been fitted")
-        scalar = np.isscalar(steps)
-        s = np.atleast_1d(np.asarray(steps, dtype=np.float64))
+        # np.ndim == 0 (not np.isscalar) so numpy scalars and 0-d arrays
+        # take the scalar branch too — the interface contract is scalar
+        # in → float out, array in → same-shape float64 ndarray out.
+        scalar = np.ndim(steps) == 0
+        s = np.atleast_1d(np.asarray(steps, dtype=np.float64)).ravel()
         n = self._n
         k = self._k
         # x(s) = (1/n) * Re( sum_k FC_k * exp(2πi k s / n) )
         phases = np.exp(2j * np.pi * np.outer(s, k) / n)
         vals = (phases @ self._ck).real / n
-        return float(vals[0]) if scalar else vals
+        return float(vals[0]) if scalar else vals.reshape(np.shape(steps))
 
     def filtered_history(self) -> np.ndarray:
         """The IDFT of the thresholded spectrum over the training window."""
@@ -169,9 +182,9 @@ class MeanEstimator(BandwidthEstimator):
     def predict(self, steps: np.ndarray | int) -> np.ndarray | float:
         if self._mean is None:
             raise RuntimeError("estimator has not been fitted")
-        if np.isscalar(steps):
+        if np.ndim(steps) == 0:
             return self._mean
-        return np.full(np.asarray(steps).shape, self._mean)
+        return np.full(np.shape(steps), self._mean, dtype=np.float64)
 
 
 class LastValueEstimator(BandwidthEstimator):
@@ -196,9 +209,9 @@ class LastValueEstimator(BandwidthEstimator):
     def predict(self, steps: np.ndarray | int) -> np.ndarray | float:
         if self._last is None:
             raise RuntimeError("estimator has not been fitted")
-        if np.isscalar(steps):
+        if np.ndim(steps) == 0:
             return self._last
-        return np.full(np.asarray(steps).shape, self._last)
+        return np.full(np.shape(steps), self._last, dtype=np.float64)
 
 
 # -- registry entries ---------------------------------------------------

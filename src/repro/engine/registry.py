@@ -30,6 +30,7 @@ __all__ = [
     "Registry",
     "ESTIMATORS",
     "POLICIES",
+    "CONTROLLERS",
     "STORAGE_PRESETS",
     "PLACEMENTS",
     "APPS",
@@ -39,6 +40,7 @@ __all__ = [
     "SCHEDULE_STAGES",
     "register_estimator",
     "register_policy",
+    "register_controller",
     "register_storage_preset",
     "register_placement",
     "register_app",
@@ -141,6 +143,12 @@ ESTIMATORS = Registry("estimator", builtins="repro.core.estimator")
 #: Adaptivity policies: ``Policy`` subclasses (see ``repro.core.controller``).
 POLICIES = Registry("policy", builtins="repro.core.controller")
 
+#: Adaptation controllers: ``BaseController`` subclasses (see
+#: ``repro.control``) keyed by short names ("tango", "pid", "mpc").
+#: Instantiated uniformly as ``cls(ladder, policy, abplot,
+#: config=ControllerConfig(...), estimator=..., degradation=...)``.
+CONTROLLERS = Registry("controller", builtins="repro.control")
+
 #: Storage hierarchies: ``factory(sim) -> TieredStorage``.
 STORAGE_PRESETS = Registry("storage preset", builtins="repro.storage.tier")
 
@@ -171,6 +179,10 @@ def register_estimator(name: str, obj: Any = None, **kw: Any):
 
 def register_policy(name: str, obj: Any = None, **kw: Any):
     return POLICIES.register(name, obj, **kw)
+
+
+def register_controller(name: str, obj: Any = None, **kw: Any):
+    return CONTROLLERS.register(name, obj, **kw)
 
 
 def register_storage_preset(name: str, obj: Any = None, **kw: Any):

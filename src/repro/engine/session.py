@@ -26,14 +26,15 @@ from __future__ import annotations
 from typing import Callable, Sequence
 
 from repro.containers import Container, ContainerRuntime
+from repro.control import BaseController, ControllerConfig
 from repro.core.abplot import AugmentationBandwidthPlot
 from repro.dataplane.pipeline import DEFAULT_STAGE_STACK, DataPlane
-from repro.core.controller import TangoController
 from repro.core.error_control import AccuracyLadder
 from repro.core.weights import WeightFunction, calibrate_weight_function
 from repro.engine import memo
 from repro.engine.registry import (
     APPS,
+    CONTROLLERS,
     ESTIMATORS,
     FAULT_CAMPAIGNS,
     POLICIES,
@@ -276,6 +277,7 @@ class ScenarioSession:
         self,
         ladder: AccuracyLadder,
         *,
+        controller: str | None = None,
         policy: str | None = None,
         priority: float | None = None,
         prescribed_bound=AUTO,
@@ -285,8 +287,16 @@ class ScenarioSession:
         weight_cardinality: str | None = None,
         estimator=AUTO,
         estimation_interval: int | None = None,
-    ) -> TangoController:
+    ) -> BaseController:
         """Build one tenant's adaptation loop from config + overrides.
+
+        ``controller`` names an entry in the
+        :data:`~repro.engine.registry.CONTROLLERS` registry ("tango",
+        "pid", "mpc", or anything plugged in); it defaults to the
+        config's ``controller`` field.  Per-controller tuning flows in
+        through the config's ``controller_params`` pairs, which override
+        the session-derived :class:`~repro.control.ControllerConfig`
+        fields.
 
         ``AUTO`` fields derive from the config: the prescribed bound
         honours ``error_control`` (no error control mandates nothing
@@ -327,16 +337,23 @@ class ScenarioSession:
         # samples walk the fallback ladder instead of raising); configs
         # can opt out with ``degradation=False`` for the strict contract.
         degradation = DegradationPolicy() if getattr(cfg, "degradation", True) else None
-        return TangoController(
-            ladder,
-            policy_obj,
-            self.abplot,
+        controller_cls = CONTROLLERS.get(
+            getattr(cfg, "controller", "tango") if controller is None else controller
+        )
+        params = dict(
             prescribed_bound=prescribed_bound,
             priority=cfg.priority if priority is None else priority,
-            estimator=estimator,
             estimation_interval=(
                 cfg.estimation_interval if estimation_interval is None else estimation_interval
             ),
+        )
+        params.update(dict(getattr(cfg, "controller_params", ()) or ()))
+        return controller_cls(
+            ladder,
+            policy_obj,
+            self.abplot,
+            config=ControllerConfig(**params),
+            estimator=estimator,
             degradation=degradation,
         )
 
@@ -344,7 +361,7 @@ class ScenarioSession:
         self,
         name: str,
         dataset: StagedDataset | TimeSeriesDataset,
-        controller: TangoController,
+        controller: BaseController,
         *,
         period: float | None = None,
         max_steps: int | None = None,

@@ -78,6 +78,15 @@ events/sec ratio — ≈ core-count scaling on an unloaded multi-core
 runner, honestly ≈ 1 on a single-core box.  The rows join the generic
 events/sec hard gate; the scaling ratio itself is recorded, not gated,
 because it is a property of the runner's core count.
+
+Schema 6 adds the controller-family stability probes (architecture
+§13): ``stability_step_{tango,pid,mpc}`` each time a short cross-layer
+scenario under the ``stability-step`` fault campaign with that
+controller selected through the ``CONTROLLERS`` registry.  Rows carry
+events/sec (joining the generic hard gate) plus the suite's
+control-quality scores — ``settling_time_s`` and ``overshoot`` of the
+prediction trace — recorded for the review trend, not gated: they are
+deterministic per seed and only move when someone retunes a controller.
 """
 
 from __future__ import annotations
@@ -94,7 +103,7 @@ from typing import Callable
 __all__ = ["BENCH_FILENAME", "SCHEMA_VERSION", "run_microbench", "write_report", "repo_root"]
 
 BENCH_FILENAME = "BENCH_micro.json"
-SCHEMA_VERSION = 5
+SCHEMA_VERSION = 6
 
 #: Median speedup of the default ladder method over the pre-fastladder
 #: cost model that the perf work is pinned to (see module docstring).
@@ -319,6 +328,49 @@ def _run_scenario_contention(kernel: str = "calendar") -> tuple[float, int, floa
     return time.perf_counter() - t0, session.sim.events_executed, session.sim.now
 
 
+def _run_scenario_stability(controller: str) -> tuple[float, int, float, float, float]:
+    """One stability-step probe run with the named controller.
+
+    Returns ``(wall_s, events, sim_time, settling_time_s, overshoot)``.
+    Same composition discipline as the contention row — ladder build and
+    staging stay outside the clock; only the run loop is timed.  The
+    control-quality scores come from the stability suite's trace scorer
+    on the completed run.
+    """
+    import numpy as np
+
+    from repro.engine.session import ScenarioSession
+    from repro.experiments.config import ScenarioConfig
+    from repro.experiments.stability import _ONSET_FRACTIONS, _score_trace
+
+    config = ScenarioConfig(
+        policy="cross-layer",
+        max_steps=12,
+        seed=0,
+        faults="stability-step",
+        controller=controller,
+    )
+    session = ScenarioSession(config)
+    _, _, ladder = session.build_ladder()
+    dataset = session.stage(f"{config.app}-data", ladder)
+    session.launch_noise()
+    session.apply_faults(config.faults)
+    ctl = session.build_controller(ladder)
+    driver = session.add_analytics("analytics", dataset, ctl)
+    t0 = time.perf_counter()
+    session.run()
+    wall = time.perf_counter() - t0
+    predicted = np.asarray([r.predicted_bw for r in driver.records])
+    measured = np.asarray([r.measured_bw for r in driver.records])
+    settling, overshoot, _ = _score_trace(
+        predicted,
+        measured,
+        onset_fraction=_ONSET_FRACTIONS["step"],
+        period=config.period,
+    )
+    return wall, session.sim.events_executed, session.sim.now, settling, overshoot
+
+
 def run_microbench(
     *,
     repeats: int = 5,
@@ -439,6 +491,34 @@ def run_microbench(
             "events_executed": events,
             "sim_time_s": sim_time,
             "events_per_sec": events / median if median > 0 else None,
+        }
+        results[name] = row
+        if progress is not None:
+            progress(name, row)
+
+    # Stability probes (schema 6): one row per built-in controller on the
+    # step reference input.  Control-quality scores ride along (recorded,
+    # not gated); ``None`` settling means the trace never entered the
+    # settling band within the probe's 12 steps.
+    for ctrl in ("tango", "pid", "mpc"):
+        name = f"stability_step_{ctrl}"
+        walls = []
+        events, sim_time, settling, overshoot = 0, 0.0, float("nan"), 0.0
+        for i in range(1 + repeats):  # first run is a discarded warmup
+            wall, events, sim_time, settling, overshoot = _run_scenario_stability(ctrl)
+            if i >= 1:
+                walls.append(wall)
+        median = statistics.median(walls)
+        row = {
+            "median_s": median,
+            "min_s": min(walls),
+            "max_s": max(walls),
+            "repeats": repeats,
+            "events_executed": events,
+            "sim_time_s": sim_time,
+            "events_per_sec": events / median if median > 0 else None,
+            "settling_time_s": None if settling != settling else settling,
+            "overshoot": overshoot,
         }
         results[name] = row
         if progress is not None:

@@ -18,7 +18,12 @@ from repro.apps.synthetic import field_time_series
 from repro.core.error_control import ErrorMetric, build_ladder
 from repro.core.refactor import decompose, levels_for_decimation
 from repro.engine.session import ScenarioSession, make_weight_function
-from repro.experiments.config import DEFAULTS, ScenarioConfig, _validate_dataplane_fields
+from repro.experiments.config import (
+    DEFAULTS,
+    ScenarioConfig,
+    _validate_controller_fields,
+    _validate_dataplane_fields,
+)
 from repro.experiments.report import format_table, sparkline
 from repro.util.validation import rename_deprecated, warn_deprecated
 from repro.workloads.analytics import StepRecord
@@ -55,6 +60,10 @@ class CampaignConfig:
     stage_stack: tuple[str, str, str] = ("cgroup", "blkio", "fifo")
     qos_policies: tuple = ()
     max_inflight: int | None = None
+    #: Adaptation controller / tuning overrides (same semantics as the
+    #: ScenarioConfig fields — the controller is a campaign axis too).
+    controller: str = "tango"
+    controller_params: tuple = ()
     seed: int = 0
 
     def __post_init__(self) -> None:
@@ -74,6 +83,7 @@ class CampaignConfig:
                     f"unknown fault campaign {self.faults!r}; "
                     f"expected one of {FAULT_CAMPAIGNS.names()}"
                 )
+        _validate_controller_fields(self)
         _validate_dataplane_fields(self)
 
 
@@ -183,6 +193,8 @@ def _scenario_config(cfg: CampaignConfig) -> ScenarioConfig:
         stage_stack=cfg.stage_stack,
         qos_policies=cfg.qos_policies,
         max_inflight=cfg.max_inflight,
+        controller=cfg.controller,
+        controller_params=cfg.controller_params,
         seed=cfg.seed,
     )
 

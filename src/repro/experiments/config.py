@@ -105,6 +105,14 @@ class ScenarioConfig:
     #: Controller graceful degradation: when True (default), bad feed
     #: samples walk the fallback ladder instead of raising.
     degradation: bool = True
+    #: Adaptation controller from the CONTROLLERS registry: "tango" (the
+    #: paper's estimator loop), "pid", "mpc", or anything plugged in.
+    controller: str = "tango"
+    #: Per-controller tuning overrides as (name, value) pairs naming
+    #: :class:`repro.control.ControllerConfig` fields — a tuple (not a
+    #: dict) so configs stay hashable and sweepable, e.g.
+    #: ``(("mpc_horizon", 8),)``.
+    controller_params: tuple = ()
     #: Event-queue kernel: "calendar" (epoch-batched calendar queue, the
     #: default) or "heap" (the binary-heap parity oracle).  Both execute
     #: events in identical order, so results are kernel-independent.
@@ -176,7 +184,32 @@ class ScenarioConfig:
                     f"unknown fault campaign {self.faults!r}; "
                     f"expected one of {FAULT_CAMPAIGNS.names()}"
                 )
+        _validate_controller_fields(self)
         _validate_dataplane_fields(self)
+
+
+def _validate_controller_fields(config) -> None:
+    """Shared controller-axis validation (ScenarioConfig + CampaignConfig)."""
+    from repro.engine.registry import CONTROLLERS
+
+    if config.controller not in CONTROLLERS:
+        raise ValueError(
+            f"unknown controller {config.controller!r}; "
+            f"expected one of {CONTROLLERS.names()}"
+        )
+    from repro.control.config import CONTROLLER_PARAM_NAMES
+
+    for entry in config.controller_params:
+        if not (isinstance(entry, tuple) and len(entry) == 2):
+            raise ValueError(
+                f"controller_params entries must be (name, value) pairs, got {entry!r}"
+            )
+        name, _ = entry
+        if name not in CONTROLLER_PARAM_NAMES:
+            raise ValueError(
+                f"unknown controller parameter {name!r}; "
+                f"expected one of {sorted(CONTROLLER_PARAM_NAMES)}"
+            )
 
 
 def _validate_dataplane_fields(config) -> None:

@@ -13,7 +13,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.apps.base import AnalyticsApp
-from repro.core.controller import TangoController
+from repro.control import BaseController
 from repro.core.error_control import AccuracyLadder, ErrorMetric
 from repro.engine.memo import ladder_for_app
 from repro.engine.session import ScenarioSession
@@ -99,7 +99,7 @@ class ScenarioResult:
     #: enabled (``None`` otherwise — the disabled path schedules nothing).
     device_samples: list[DeviceSample] | None = None
     #: The tenant's controller (mode history / degradation inspection).
-    controller: TangoController | None = None
+    controller: BaseController | None = None
 
     def _require_records(self, what: str) -> None:
         if not self.records:

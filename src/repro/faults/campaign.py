@@ -381,6 +381,65 @@ def _feed_blackout(config) -> FaultCampaign:
     )
 
 
+@register_fault_campaign("stability-step")
+def _stability_step(config) -> FaultCampaign:
+    """Step reference input for the controller stability suite.
+
+    One sharp downward speed step — the classic step-response probe.
+    Settling time and overshoot are measured against the controller's
+    prediction trace after the step lands (see
+    ``repro.experiments.stability``).
+    """
+    _, horizon = _horizon(config)
+    return FaultCampaign(
+        name="stability-step",
+        description="single speed step to 0.45 at 35% of the run (step response)",
+        events=(SpeedStep(at=0.35 * horizon, factor=0.45),),
+    )
+
+
+@register_fault_campaign("stability-ramp")
+def _stability_ramp(config) -> FaultCampaign:
+    """Ramp reference input: gradual degradation, no recovery."""
+    _, horizon = _horizon(config)
+    return FaultCampaign(
+        name="stability-ramp",
+        description="linear speed ramp 1.0 -> 0.45 over 35% of the run",
+        events=(
+            SpeedRamp(
+                start=0.3 * horizon,
+                duration=0.35 * horizon,
+                factor_from=1.0,
+                factor_to=0.45,
+                steps=8,
+            ),
+        ),
+    )
+
+
+@register_fault_campaign("stability-osc")
+def _stability_osc(config) -> FaultCampaign:
+    """Oscillation reference input: a square wave in device speed.
+
+    The speed factor alternates between 0.5 and 1.0 every four analytics
+    periods from 30% of the run to the end — a persistent disturbance
+    the controller should track without amplifying.
+    """
+    period, horizon = _horizon(config)
+    events: list[FaultEvent] = []
+    t = 0.3 * horizon
+    low = True
+    while t < horizon:
+        events.append(SpeedStep(at=t, factor=0.5 if low else 1.0))
+        low = not low
+        t += 4.0 * period
+    return FaultCampaign(
+        name="stability-osc",
+        description="square-wave speed factor 0.5/1.0 every 4 periods from 30% of the run",
+        events=tuple(events),
+    )
+
+
 @register_fault_campaign("chaos")
 def _chaos(config) -> FaultCampaign:
     """Everything at once: bursts + degradation + stall + feed corruption.

@@ -2,7 +2,7 @@
 
 Each analysis step:
 
-1. asks the :class:`~repro.core.controller.TangoController` for a decision
+1. asks the controller (any :class:`~repro.control.BaseController`) for a decision
    (estimation + abplot + weight plan — lines 2–8 of Algorithm 1);
 2. retrieves the base representation from the fastest tier, then each
    augmentation bucket in order, applying the bucket's blkio weight just
@@ -24,7 +24,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Callable, Generator
 
-from repro.core.controller import TangoController
+from repro.control import BaseController
 from repro.faults.retry import DEFAULT_RETRY_POLICY, RetryPolicy
 from repro.obs import OBS
 from repro.simkernel import Interrupt, Timeout
@@ -88,7 +88,7 @@ class AnalyticsDriver:
         self,
         container: "Container",
         dataset: StagedDataset | TimeSeriesDataset,
-        controller: TangoController,
+        controller: BaseController,
         *,
         period: float = 60.0,
         max_steps: int = 60,

@@ -176,3 +176,97 @@ class TestRunnerModuleShim:
 
         with pytest.raises(AttributeError):
             runner.does_not_exist
+
+
+class TestControllerConstructionShim:
+    """The legacy TangoController(..., prescribed_bound=...) signature
+    works for one release behind a deprecation warning; the config=
+    path is the canonical, silent spelling."""
+
+    def _parts(self):
+        from repro.apps import make_app
+        from repro.core.abplot import AugmentationBandwidthPlot
+        from repro.core.controller import make_policy
+        from repro.core.error_control import ErrorMetric, build_ladder
+        from repro.core.refactor import decompose, levels_for_decimation
+        from repro.util.units import mb_per_s
+
+        field = make_app("xgc").generate((64, 64), seed=0)
+        ladder = build_ladder(
+            decompose(field, levels_for_decimation(field.shape, 4)),
+            [0.1, 0.01],
+            ErrorMetric.NRMSE,
+        )
+        abplot = AugmentationBandwidthPlot(bw_low=mb_per_s(30), bw_high=mb_per_s(120))
+        return ladder, make_policy("app-only", None), abplot
+
+    def test_legacy_kwargs_warn_and_map(self):
+        from repro.control import TangoController
+
+        ladder, policy, abplot = self._parts()
+        with pytest.warns(ReproDeprecationWarning, match="ControllerConfig"):
+            ctrl = TangoController(
+                ladder, policy, abplot, prescribed_bound=0.01, priority=5.0
+            )
+        assert ctrl.config.prescribed_bound == 0.01
+        assert ctrl.config.priority == 5.0
+
+    def test_legacy_positionals_warn_and_map(self):
+        from repro.control import TangoController
+        from repro.core.estimator import MeanEstimator
+
+        ladder, policy, abplot = self._parts()
+        with pytest.warns(ReproDeprecationWarning, match="ControllerConfig"):
+            ctrl = TangoController(ladder, policy, abplot, 0.01, 2.0, MeanEstimator())
+        assert ctrl.config.prescribed_bound == 0.01
+        assert ctrl.config.priority == 2.0
+        assert isinstance(ctrl.estimator, MeanEstimator)
+
+    def test_config_path_is_silent(self):
+        from repro.control import ControllerConfig, TangoController
+
+        ladder, policy, abplot = self._parts()
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", ReproDeprecationWarning)
+            TangoController(
+                ladder, policy, abplot, config=ControllerConfig(prescribed_bound=0.01)
+            )
+
+    def test_config_plus_legacy_rejected(self):
+        from repro.control import ControllerConfig, TangoController
+
+        ladder, policy, abplot = self._parts()
+        with pytest.raises(TypeError):
+            with warnings.catch_warnings():
+                warnings.simplefilter("ignore")
+                TangoController(
+                    ladder,
+                    policy,
+                    abplot,
+                    prescribed_bound=0.02,
+                    config=ControllerConfig(prescribed_bound=0.01),
+                )
+
+    def test_neither_config_nor_legacy_rejected(self):
+        from repro.control import TangoController
+
+        ladder, policy, abplot = self._parts()
+        with pytest.raises(TypeError, match="config"):
+            TangoController(ladder, policy, abplot)
+
+    def test_unknown_legacy_kwarg_rejected(self):
+        from repro.control import TangoController
+
+        ladder, policy, abplot = self._parts()
+        with pytest.raises(TypeError):
+            with warnings.catch_warnings():
+                warnings.simplefilter("ignore")
+                TangoController(ladder, policy, abplot, prescribed_bound=0.01, gain=2.0)
+
+    def test_controller_surface_on_facade(self):
+        import repro.api as api
+
+        for name in ("CONTROLLERS", "register_controller", "ControllerConfig",
+                     "BaseController", "PidController", "MpcController",
+                     "TangoController", "StabilityResult", "run_stability"):
+            assert name in api.__all__

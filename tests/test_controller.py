@@ -3,6 +3,7 @@
 import numpy as np
 import pytest
 
+from repro.control import ControllerConfig, TangoController
 from repro.core.abplot import AugmentationBandwidthPlot
 from repro.core.controller import (
     POLICY_NAMES,
@@ -10,7 +11,6 @@ from repro.core.controller import (
     CrossLayerPolicy,
     NoAdaptivityPolicy,
     StorageOnlyPolicy,
-    TangoController,
     make_policy,
 )
 from repro.core.error_control import ErrorMetric, build_ladder
@@ -101,8 +101,7 @@ class TestControllerLoop:
             ladder,
             AppOnlyPolicy(),
             abplot,
-            prescribed_bound=0.01,
-            **kwargs,
+            config=ControllerConfig(prescribed_bound=0.01, **kwargs),
         )
 
     def test_optimistic_before_history(self, ladder, abplot):
@@ -174,9 +173,8 @@ class TestControllerLoop:
             ladder,
             AppOnlyPolicy(),
             abplot,
-            prescribed_bound=0.01,
+            config=ControllerConfig(prescribed_bound=0.01, min_history=2),
             estimator=MeanEstimator(),
-            min_history=2,
         )
         ctrl.observe(0, 0.0)
         ctrl.observe(1, 0.0)

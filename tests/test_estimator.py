@@ -196,3 +196,50 @@ class TestZeroThreshold:
         est = DFTEstimator(thresh=0.0, keep_dc=False).fit(np.full(16, 7.5))
         assert est.num_kept_components == 0
         np.testing.assert_allclose(est.predict(np.arange(8)), 0.0)
+
+
+class TestPredictContract:
+    """predict's shape contract: scalar in -> Python float out, array in
+    -> float64 ndarray of the same shape (pinned for all estimators)."""
+
+    def _fitted(self):
+        hist = periodic_signal(32, 8)
+        return [
+            DFTEstimator(0.5).fit(hist),
+            MeanEstimator().fit(hist),
+            LastValueEstimator().fit(hist),
+        ]
+
+    @pytest.mark.parametrize(
+        "scalar", [40, 40.0, np.int64(40), np.float64(40.0), np.array(40.0)]
+    )
+    def test_scalar_in_float_out(self, scalar):
+        for est in self._fitted():
+            out = est.predict(scalar)
+            assert type(out) is float, type(est).__name__
+
+    def test_1d_in_1d_float64_out(self):
+        steps = np.arange(32, 40)
+        for est in self._fitted():
+            out = est.predict(steps)
+            assert isinstance(out, np.ndarray), type(est).__name__
+            assert out.shape == steps.shape
+            assert out.dtype == np.float64
+
+    def test_2d_shape_preserved(self):
+        steps = np.arange(32, 44).reshape(3, 4)
+        for est in self._fitted():
+            out = est.predict(steps)
+            assert out.shape == (3, 4), type(est).__name__
+            assert out.dtype == np.float64
+
+    def test_list_input_treated_as_array(self):
+        for est in self._fitted():
+            out = est.predict([32, 33, 34])
+            assert isinstance(out, np.ndarray), type(est).__name__
+            assert out.shape == (3,)
+
+    def test_scalar_equals_array_element(self):
+        """The scalar path and the length-1 array path agree exactly."""
+        for est in self._fitted():
+            assert est.predict(35) == est.predict(np.array([35]))[0]

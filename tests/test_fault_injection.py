@@ -6,7 +6,8 @@ from hypothesis import strategies as st
 
 from repro.containers import ContainerRuntime
 from repro.core.abplot import AugmentationBandwidthPlot
-from repro.core.controller import TangoController, make_policy
+from repro.control import ControllerConfig, TangoController
+from repro.core.controller import make_policy
 from repro.core.error_control import ErrorMetric, build_ladder
 from repro.core.refactor import decompose
 from repro.simkernel import Simulation
@@ -88,7 +89,7 @@ class TestDriverResilience:
             ladder,
             make_policy("cross-layer", make_weight_function(ladder)),
             AugmentationBandwidthPlot(bw_low=mb_per_s(30), bw_high=mb_per_s(120)),
-            prescribed_bound=0.001,
+            config=ControllerConfig(prescribed_bound=0.001),
         )
         container = runtime.create("analytics")
         driver = AnalyticsDriver(container, dataset, controller, period=30.0,

@@ -21,7 +21,6 @@ from repro.faults import (
     MODE_WEIGHTS_ONLY,
     RetryPolicy,
     SpeedRamp,
-    SpeedStep,
 )
 from repro.simkernel import Simulation
 from repro.storage.device import DEVICE_PRESETS, BlockDevice
@@ -219,7 +218,8 @@ class TestDegradationPolicy:
 class TestControllerDegradation:
     def _controller(self, **kwargs):
         from repro.core.abplot import AugmentationBandwidthPlot
-        from repro.core.controller import TangoController, make_policy
+        from repro.control import ControllerConfig, TangoController
+        from repro.core.controller import make_policy
         from repro.engine.memo import ladder_for_app
         from repro.apps import make_app
         from repro.core.error_control import ErrorMetric
@@ -237,8 +237,9 @@ class TestControllerDegradation:
             ladder,
             make_policy("app-only", None),
             AugmentationBandwidthPlot(bw_low=mb_per_s(30), bw_high=mb_per_s(120)),
-            prescribed_bound=ladder.base_error,
-            min_history=2,
+            config=ControllerConfig(
+                prescribed_bound=ladder.base_error, min_history=2
+            ),
             degradation=DegradationPolicy(
                 last_good_after=2, static_after=4, weights_only_after=6,
                 recovery_samples=2, **kwargs,
@@ -298,7 +299,8 @@ class TestControllerDegradation:
 
     def test_legacy_controller_still_raises_without_degradation(self):
         from repro.core.abplot import AugmentationBandwidthPlot
-        from repro.core.controller import TangoController, make_policy
+        from repro.control import ControllerConfig, TangoController
+        from repro.core.controller import make_policy
         from repro.engine.memo import ladder_for_app
         from repro.apps import make_app
         from repro.core.error_control import ErrorMetric
@@ -311,7 +313,7 @@ class TestControllerDegradation:
         ctl = TangoController(
             ladder, make_policy("app-only", None),
             AugmentationBandwidthPlot(bw_low=mb_per_s(30), bw_high=mb_per_s(120)),
-            prescribed_bound=ladder.base_error,
+            config=ControllerConfig(prescribed_bound=ladder.base_error),
         )
         with pytest.raises(ValueError):
             ctl.observe(0, float("nan"))

@@ -72,7 +72,8 @@ class TestMaterializedStaging:
         reached, the physically-staged byte prefix reconstructs it."""
         from repro.containers import ContainerRuntime
         from repro.core.abplot import AugmentationBandwidthPlot
-        from repro.core.controller import TangoController, make_policy
+        from repro.control import ControllerConfig, TangoController
+        from repro.core.controller import make_policy
         from repro.engine.session import make_weight_function
         from repro.util.units import mb_per_s
         from repro.workloads.analytics import AnalyticsDriver
@@ -83,7 +84,7 @@ class TestMaterializedStaging:
             ladder,
             make_policy("cross-layer", make_weight_function(ladder)),
             AugmentationBandwidthPlot(bw_low=mb_per_s(30), bw_high=mb_per_s(120)),
-            prescribed_bound=0.01,
+            config=ControllerConfig(prescribed_bound=0.01),
         )
         container = runtime.create("analytics")
         driver = AnalyticsDriver(container, ds, controller, period=30.0, max_steps=3)

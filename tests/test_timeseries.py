@@ -6,7 +6,8 @@ import pytest
 from repro.apps.synthetic import field_time_series, xgc_dpot_field
 from repro.containers import ContainerRuntime
 from repro.core.abplot import AugmentationBandwidthPlot
-from repro.core.controller import TangoController, make_policy
+from repro.control import ControllerConfig, TangoController
+from repro.core.controller import make_policy
 from repro.core.error_control import ErrorMetric, build_ladder
 from repro.core.metrics import nrmse
 from repro.core.refactor import decompose
@@ -104,7 +105,7 @@ class TestStageTimeseries:
             series.ladder,
             make_policy("cross-layer", make_weight_function(series.ladder)),
             AugmentationBandwidthPlot(bw_low=mb_per_s(30), bw_high=mb_per_s(120)),
-            prescribed_bound=0.01,
+            config=ControllerConfig(prescribed_bound=0.01),
         )
         container = runtime.create("analytics")
         driver = AnalyticsDriver(container, series, controller, period=30.0, max_steps=4)

@@ -76,6 +76,7 @@ class TestCliParser:
             "threetier",
             "campaign",
             "resilience",
+            "stability",
             "qosplane",
             "cluster",
         } == set(FIGURES)
@@ -111,6 +112,19 @@ class TestCliCommands:
     def test_figure_fast(self, capsys):
         assert main(["figure", "fig05", "--fast"]) == 0
         assert "weight vs cardinality" in capsys.readouterr().out
+
+    def test_stability_json(self, capsys):
+        code = main(["stability", "--steps", "4", "--controllers", "pid",
+                     "--inputs", "step", "--json"])
+        assert code == 0
+        data = json.loads(capsys.readouterr().out)
+        assert len(data["rows"]) == 1
+        assert data["rows"][0]["controller"] == "pid"
+        assert data["rows"][0]["reference"] == "step"
+
+    def test_stability_rejects_unknown_controller(self, capsys):
+        assert main(["stability", "--controllers", "lqr"]) == 2
+        assert "unknown controller" in capsys.readouterr().err
 
     def test_figure_out_file(self, capsys, tmp_path):
         path = tmp_path / "fig05.txt"

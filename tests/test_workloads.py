@@ -5,7 +5,8 @@ import pytest
 
 from repro.containers import ContainerRuntime
 from repro.core.abplot import AugmentationBandwidthPlot
-from repro.core.controller import TangoController, make_policy
+from repro.control import ControllerConfig, TangoController
+from repro.core.controller import make_policy
 from repro.core.error_control import ErrorMetric, build_ladder
 from repro.core.refactor import decompose
 from repro.simkernel import Simulation
@@ -137,8 +138,7 @@ def _make_driver(sim, storage, runtime, smooth_field, policy_name="cross-layer",
         ladder,
         make_policy(policy_name, wf),
         AugmentationBandwidthPlot(bw_low=mb_per_s(30), bw_high=mb_per_s(120)),
-        prescribed_bound=0.01,
-        priority=10.0,
+        config=ControllerConfig(prescribed_bound=0.01, priority=10.0),
     )
     container = runtime.create("analytics")
     driver = AnalyticsDriver(container, dataset, controller, period=30.0,
